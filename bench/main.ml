@@ -1,0 +1,134 @@
+(* Benchmark harness.
+
+   Usage:
+     dune exec bench/main.exe              -- all experiment tables + micro
+     dune exec bench/main.exe -- quick     -- smaller grids
+     dune exec bench/main.exe -- e4        -- one experiment
+     dune exec bench/main.exe -- micro     -- Bechamel micro-benchmarks only
+
+   Each experiment table regenerates one exhibit of the paper (Figure 3's
+   three rows, plus the theorem-level claims); see EXPERIMENTS.md for the
+   paper-vs-measured record. *)
+
+open Bechamel
+
+(* -- micro-benchmarks: one Test.make per core operation -- *)
+
+let sha_input_small = String.make 64 'x'
+let sha_input_large = String.make 4096 'y'
+
+let micro_tests () =
+  let greedy_move =
+    let g = Rgraph.Digraph.of_edges (Rgraph.Workload.complete ~n:10) in
+    let st = Game.State.create g ~t:2 in
+    Test.make ~name:"game/greedy-proposal" (Staged.stage (fun () -> ignore (Game.Greedy.proposal st)))
+  in
+  let game_full =
+    let g = Rgraph.Digraph.of_edges (Rgraph.Workload.complete ~n:8) in
+    Test.make ~name:"game/full-play-K8"
+      (Staged.stage (fun () ->
+           ignore (Game.Runner.play (Game.State.create g ~t:2) Game.Referee.minimal_first)))
+  in
+  let sha_small =
+    Test.make ~name:"crypto/sha256-64B"
+      (Staged.stage (fun () -> ignore (Crypto.Sha256.digest sha_input_small)))
+  in
+  let sha_large =
+    Test.make ~name:"crypto/sha256-4KiB"
+      (Staged.stage (fun () -> ignore (Crypto.Sha256.digest sha_input_large)))
+  in
+  let hmac =
+    Test.make ~name:"crypto/hmac-sha256"
+      (Staged.stage (fun () -> ignore (Crypto.Hmac.mac ~key:"key" sha_input_small)))
+  in
+  let dh =
+    let rng = Prng.Rng.create 1L in
+    Test.make ~name:"crypto/dh-keygen"
+      (Staged.stage (fun () -> ignore (Crypto.Dh.generate rng)))
+  in
+  let seal =
+    Test.make ~name:"crypto/seal-64B"
+      (Staged.stage (fun () -> ignore (Crypto.Cipher.seal ~key:"k" ~nonce:7L sha_input_small)))
+  in
+  let vc =
+    let g = Rgraph.Digraph.of_edges (Rgraph.Workload.complete ~n:8) in
+    Test.make ~name:"graph/min-vertex-cover-K8"
+      (Staged.stage (fun () -> ignore (Rgraph.Vertex_cover.minimum g)))
+  in
+  let engine_round =
+    Test.make ~name:"radio/1000-round-run"
+      (Staged.stage (fun () ->
+           let cfg = Radio.Config.make ~n:8 ~channels:2 ~t:1 ~seed:3L () in
+           ignore
+             (Radio.Engine.run_nodes cfg ~adversary:Radio.Adversary.null
+                (fun (ctx : Radio.Engine.ctx) ->
+                  for _ = 1 to 1000 do
+                    if ctx.Radio.Engine.id = 0 then
+                      Radio.Engine.transmit ~chan:0
+                        (Radio.Frame.Plain { src = 0; dst = 1; body = "x" })
+                    else ignore (Radio.Engine.listen ~chan:0)
+                  done))))
+  in
+  let fame_small =
+    Test.make ~name:"ame/fame-4-pairs-t1"
+      (Staged.stage (fun () ->
+           let cfg = Radio.Config.make ~n:25 ~channels:2 ~t:1 ~seed:5L () in
+           let pairs = Rgraph.Workload.disjoint_pairs ~n:25 ~count:4 in
+           ignore
+             (Ame.Fame.run ~cfg ~pairs
+                ~messages:(fun (v, w) -> Printf.sprintf "%d-%d" v w)
+                ~adversary:(fun _ -> Radio.Adversary.null)
+                ())))
+  in
+  let prng =
+    let rng = Prng.Rng.create 9L in
+    Test.make ~name:"prng/bits64" (Staged.stage (fun () -> ignore (Prng.Rng.bits64 rng)))
+  in
+  [ prng; sha_small; sha_large; hmac; dh; seal; vc; greedy_move; game_full; engine_round;
+    fame_small ]
+
+let run_micro () =
+  print_endline "\n== Micro-benchmarks (Bechamel, monotonic clock) ==\n";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (est :: _) -> est
+            | Some [] | None -> nan
+          in
+          if ns > 1_000_000.0 then Printf.printf "  %-28s %10.2f ms/run\n" name (ns /. 1e6)
+          else if ns > 1_000.0 then Printf.printf "  %-28s %10.2f us/run\n" name (ns /. 1e3)
+          else Printf.printf "  %-28s %10.2f ns/run\n" name ns)
+        analyzed)
+    (micro_tests ())
+
+let run_experiment ~quick (e : Experiments.Registry.experiment) =
+  Format.printf "@.### %s: %s@." e.Experiments.Registry.id e.Experiments.Registry.title;
+  e.Experiments.Registry.run ~quick Format.std_formatter;
+  Format.print_flush ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "micro" ] -> run_micro ()
+  | [] | [ "quick" ] ->
+    let quick = args = [ "quick" ] in
+    List.iter (run_experiment ~quick) Experiments.Registry.all;
+    run_micro ()
+  | ids ->
+    List.iter
+      (fun id ->
+        match Experiments.Registry.find id with
+        | Some e -> run_experiment ~quick:false e
+        | None ->
+          Printf.eprintf "unknown experiment %S; available: %s, micro\n" id
+            (String.concat ", " Experiments.Registry.ids);
+          exit 1)
+      ids

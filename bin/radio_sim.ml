@@ -1,0 +1,240 @@
+(* radio_sim: command-line driver for the secure-radio protocol suite.
+
+   Subcommands:
+     exchange    run f-AME on a generated workload
+     groupkey    establish a shared group key (Section 6)
+     channel     emulate the long-lived secure channel (Section 7)
+     game        play the starred-edge removal game (Section 5.1-5.2)
+     experiment  regenerate a paper experiment table (e1..e12)
+     list        list available experiments *)
+
+open Cmdliner
+
+let attack_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Core.attack_of_string s) in
+  let print fmt a =
+    let name =
+      match a with
+      | Core.No_attack -> "none"
+      | Core.Random_jam -> "random-jam"
+      | Core.Sweep_jam -> "sweep-jam"
+      | Core.Schedule_jam -> "schedule-jam"
+      | Core.Spoof -> "spoof"
+    in
+    Format.pp_print_string fmt name
+  in
+  Arg.conv (parse, print)
+
+let seed_arg =
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"Master random seed.")
+
+let t_arg =
+  Arg.(value & opt int 2 & info [ "t" ] ~docv:"T" ~doc:"Adversary budget (channels per round).")
+
+let n_arg =
+  Arg.(value & opt int 0 & info [ "n" ] ~docv:"N" ~doc:"Node count (0 = smallest legal).")
+
+let attack_arg =
+  Arg.(
+    value
+    & opt attack_conv Core.Schedule_jam
+    & info [ "attack" ] ~docv:"ATTACK"
+        ~doc:(Printf.sprintf "Adversary strategy: %s." (String.concat ", " Core.attack_names)))
+
+let pairs_arg =
+  Arg.(value & opt int 6 & info [ "pairs" ] ~docv:"K" ~doc:"Number of disjoint exchange pairs.")
+
+let resolve_n ~t n =
+  if n > 0 then n
+  else
+    Ame.Params.nodes_required Ame.Params.default ~channels_used:(t + 1) ~budget:t
+      ~channels:(t + 1)
+    + 8
+
+let exchange_cmd =
+  let run seed t n attack pairs_count =
+    let n = resolve_n ~t n in
+    let pairs_count = min pairs_count (n / 2) in
+    let pairs = Core.Rgraph.Workload.disjoint_pairs ~n ~count:pairs_count in
+    let triples = List.map (fun (v, w) -> (v, w, Printf.sprintf "msg-%d-%d" v w)) pairs in
+    let r = Core.exchange ~seed ~t ~n ~attack triples in
+    Printf.printf "f-AME: n=%d t=%d C=%d |E|=%d\n" n t (t + 1) pairs_count;
+    Printf.printf "rounds=%d delivered=%d failed=%d authentic=%b diverged=%b\n" r.rounds
+      (List.length r.delivered) (List.length r.failed) r.authentic r.diverged;
+    (match r.disruption_cover with
+     | Some c -> Printf.printf "disruption vertex cover = %d (bound t = %d)\n" c t
+     | None -> ());
+    List.iter (fun ((v, w), body) -> Printf.printf "  %d -> %d : %S\n" v w body) r.delivered
+  in
+  Cmd.v (Cmd.info "exchange" ~doc:"Run f-AME on a disjoint-pairs workload.")
+    Term.(const run $ seed_arg $ t_arg $ n_arg $ attack_arg $ pairs_arg)
+
+let groupkey_cmd =
+  let run seed t n attack =
+    let n = resolve_n ~t n in
+    let r = Core.establish_group_key ~seed ~t ~n ~attack () in
+    Printf.printf "group key: n=%d t=%d rounds=%d\n" n t r.setup_rounds;
+    Printf.printf "agreed=%d wrong=%d ignorant=%d (guarantee: agreed >= %d, wrong = 0)\n"
+      r.agreed_holders r.wrong_holders r.ignorant (n - t)
+  in
+  Cmd.v (Cmd.info "groupkey" ~doc:"Establish a shared group key (Section 6).")
+    Term.(const run $ seed_arg $ t_arg $ n_arg $ attack_arg)
+
+let channel_cmd =
+  let messages_arg =
+    Arg.(value & opt int 5 & info [ "messages" ] ~docv:"M" ~doc:"Messages to broadcast.")
+  in
+  let run seed t n attack count =
+    let n = resolve_n ~t n in
+    let sends = List.init count (fun i -> (i, i mod n, Printf.sprintf "broadcast-%d" i)) in
+    let r = Core.open_channel ~seed ~t ~n ~attack sends in
+    Printf.printf "secure channel: n=%d t=%d, %d real rounds per message\n" n t
+      r.rounds_per_message;
+    List.iter
+      (fun (er, sender, msg, receivers) ->
+        Printf.printf "  [%d] node %d %S -> %d receivers\n" er sender msg receivers)
+      r.deliveries;
+    Printf.printf "secrecy=%b authentication=%b\n" r.secrecy_ok r.authentication_ok
+  in
+  Cmd.v (Cmd.info "channel" ~doc:"Emulate the long-lived secure channel (Section 7).")
+    Term.(const run $ seed_arg $ t_arg $ n_arg $ attack_arg $ messages_arg)
+
+let game_cmd =
+  let nodes_arg =
+    Arg.(value & opt int 8 & info [ "nodes" ] ~docv:"M" ~doc:"Complete graph size.")
+  in
+  let referee_arg =
+    Arg.(
+      value & opt string "minimal"
+      & info [ "referee" ] ~docv:"R" ~doc:"Referee: generous, minimal, spiteful, random.")
+  in
+  let run seed t m referee_name =
+    let g = Core.Rgraph.Digraph.of_edges (Core.Rgraph.Workload.complete ~n:m) in
+    let referee =
+      match referee_name with
+      | "generous" -> Core.Game.Referee.generous
+      | "minimal" -> Core.Game.Referee.minimal_first
+      | "spiteful" -> Core.Game.Referee.spiteful ~min_return:1
+      | "random" -> Core.Game.Referee.random (Core.Prng.Rng.create seed) ~min_return:1
+      | other -> failwith (Printf.sprintf "unknown referee %S" other)
+    in
+    let o = Core.Game.Runner.play (Core.Game.State.create g ~t) referee in
+    Printf.printf "starred-edge removal on K%d (|E|=%d), t=%d, referee=%s\n" m
+      (Core.Rgraph.Digraph.edge_count g) t referee_name;
+    Printf.printf "moves=%d stars=%d edges_removed=%d won=%b\n" o.moves o.stars
+      o.edges_removed o.won
+  in
+  Cmd.v (Cmd.info "game" ~doc:"Play the starred-edge removal game.")
+    Term.(const run $ seed_arg $ t_arg $ nodes_arg $ referee_arg)
+
+let experiment_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e1..e12).")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller parameter grid.")
+  in
+  let run id quick =
+    match Experiments.Registry.find id with
+    | Some e ->
+      Format.printf "%s: %s@." e.Experiments.Registry.id e.Experiments.Registry.title;
+      e.Experiments.Registry.run ~quick Format.std_formatter;
+      `Ok ()
+    | None ->
+      `Error
+        (false,
+         Printf.sprintf "unknown experiment %S; available: %s" id
+           (String.concat ", " Experiments.Registry.ids))
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a paper experiment table.")
+    Term.(ret (const run $ id_arg $ quick_arg))
+
+let rekey_cmd =
+  let compromised_arg =
+    Arg.(
+      value & opt (list int) [ 7 ]
+      & info [ "compromised" ] ~docv:"IDS" ~doc:"Comma-separated compromised node ids.")
+  in
+  let run seed t n compromised =
+    let n = resolve_n ~t n in
+    let channels = t + 1 in
+    let cfg = Core.Radio.Config.make ~seed ~n ~channels ~t ~max_rounds:50_000_000 () in
+    let setup =
+      Core.Groupkey.Protocol.run ~cfg
+        ~fame_adversary:(fun _ -> Core.Radio.Adversary.null)
+        ~hop_adversary:
+          (Core.Radio.Adversary.random_jammer (Core.Prng.Rng.create seed) ~channels ~budget:t)
+        ()
+    in
+    Printf.printf "setup: %d rounds, %d/%d agreed\n" setup.total_rounds
+      setup.agreed_key_holders n;
+    let rk =
+      Core.Groupkey.Rekey.run ~cfg ~previous:setup ~compromised
+        ~hop_adversary:
+          (Core.Radio.Adversary.random_jammer
+             (Core.Prng.Rng.create (Int64.add seed 1L))
+             ~channels ~budget:t)
+        ()
+    in
+    Printf.printf "rekey (excluding %s): %d rounds, %d survivors agreed, %d wrong, %d leaked\n"
+      (String.concat "," (List.map string_of_int compromised))
+      rk.rounds rk.agreed_key_holders rk.wrong_key_holders rk.excluded_with_key
+  in
+  Cmd.v (Cmd.info "rekey" ~doc:"Establish a group key, then rotate it after a compromise.")
+    Term.(const run $ seed_arg $ t_arg $ n_arg $ compromised_arg)
+
+let trace_cmd =
+  let rounds_arg =
+    Arg.(value & opt int 12 & info [ "rounds" ] ~docv:"R" ~doc:"Rounds to display.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write CSV here.")
+  in
+  let run seed t pairs_count shown csv =
+    let n = resolve_n ~t 0 in
+    let channels = t + 1 in
+    let cfg = Core.Radio.Config.make ~seed ~n ~channels ~t ~record_transcript:true () in
+    let pairs = Core.Rgraph.Workload.disjoint_pairs ~n ~count:(min pairs_count (n / 2)) in
+    let o =
+      Core.Ame.Fame.run ~cfg ~pairs
+        ~messages:(fun (v, w) -> Printf.sprintf "msg-%d-%d" v w)
+        ~adversary:(fun board ->
+          Core.Ame.Attacks.schedule_jammer board ~channels ~budget:t
+            ~prefer:Core.Ame.Attacks.Prefer_edges)
+        ()
+    in
+    let transcript = o.Core.Ame.Fame.engine.Core.Radio.Engine.transcript in
+    Format.printf "f-AME trace: %d rounds total, showing %d@.@." (List.length transcript) shown;
+    Core.Radio.Trace.pp_rounds ~limit:shown Format.std_formatter transcript;
+    Format.printf "@.channel utilization:@.";
+    Core.Radio.Trace.pp_utilization Format.std_formatter
+      (Core.Radio.Trace.utilization ~channels transcript);
+    match csv with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Core.Radio.Trace.to_csv transcript);
+      close_out oc;
+      Printf.printf "CSV written to %s\n" path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Run f-AME with transcript recording and display the trace.")
+    Term.(const run $ seed_arg $ t_arg $ pairs_arg $ rounds_arg $ csv_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Experiments.Registry.experiment) -> Printf.printf "%-4s %s\n" e.id e.title)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments.") Term.(const run $ const ())
+
+let main =
+  let info =
+    Cmd.info "radio_sim" ~version:Core.version
+      ~doc:"Secure communication over multi-channel radio with a malicious adversary."
+  in
+  Cmd.group info
+    [ exchange_cmd; groupkey_cmd; rekey_cmd; channel_cmd; game_cmd; trace_cmd; experiment_cmd;
+      list_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,35 @@
+(* Quickstart: authenticated message exchange on a jammed radio network.
+
+   A 40-node single-hop network with C = t+1 = 3 channels; the adversary
+   jams 2 channels per round, aiming at the protocol's own schedule.  f-AME
+   still delivers all but a t-coverable set of the requested exchanges, and
+   nothing the adversary injects is ever accepted.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let t = 2 and n = 40 in
+  let triples =
+    [ (0, 10, "meet at dawn");
+      (1, 11, "bring the keys");
+      (2, 12, "channel plan B");
+      (3, 13, "all clear");
+      (4, 14, "rendezvous set");
+      (5, 15, "confirm receipt") ]
+  in
+  let report = Core.exchange ~t ~n ~attack:Core.Schedule_jam triples in
+  Printf.printf "f-AME on %d pairs, n=%d, t=%d, C=%d (schedule-aware jammer)\n"
+    (List.length triples) n t (t + 1);
+  Printf.printf "  rounds used:        %d\n" report.rounds;
+  Printf.printf "  delivered:          %d\n" (List.length report.delivered);
+  List.iter
+    (fun ((v, w), body) -> Printf.printf "    %2d -> %-2d %S\n" v w body)
+    report.delivered;
+  Printf.printf "  failed (disrupted): %d\n" (List.length report.failed);
+  List.iter (fun (v, w) -> Printf.printf "    %2d -> %-2d\n" v w) report.failed;
+  (match report.disruption_cover with
+   | Some cover ->
+     Printf.printf "  disruption vertex cover: %d (guarantee: <= t = %d)\n" cover t
+   | None -> ());
+  Printf.printf "  all payloads authentic:  %b\n" report.authentic;
+  Printf.printf "  whp machinery held:      %b\n" (not report.diverged)

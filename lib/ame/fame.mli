@@ -1,0 +1,90 @@
+(** f-AME: fast Authenticated Message Exchange (Section 5.4).
+
+    A distributed simulation of the (G, t)-starred-edge removal game over
+    the radio engine.  Each game move costs one message-transmission round
+    plus one communication-feedback invocation; greedy play plus the graph
+    equivalence invariant give t-disruptability in O(|E| t^2 log n) rounds
+    when C = t+1, and O(|E| log n) when C = 2t (Section 5.5, case 1) — the
+    same code runs both regimes, with proposal size = channels used.
+
+    Guarantees measured by the experiments (Definition 1):
+    - authentication: destinations only ever output genuinely-sent payloads;
+    - sender awareness: each source learns exactly which of its messages
+      were delivered;
+    - t-disruptability: the failed-pair graph has vertex cover <= t.
+
+    All of these hold with high probability; the runner reports the
+    low-probability desynchronization events explicitly ({!field-diverged}). *)
+
+type outcome = {
+  engine : Radio.Engine.result;
+  delivered : ((int * int) * string) list;
+      (** pairs whose destination output a message, with that payload;
+          sorted *)
+  confirmed : (int * int) list;
+      (** pairs whose source believes the exchange succeeded (sender
+          awareness); sorted *)
+  failed : (int * int) list;  (** pairs that output fail; sorted *)
+  disruption_vc : int option;
+      (** exact minimum vertex cover of the failed-pair graph, when small
+          enough to decide (<= 64 failed pairs) *)
+  diverged : bool;
+      (** true if any whp event failed and the nodes' game states
+          desynchronized *)
+  moves : int;  (** game moves simulated *)
+}
+
+type feedback_mode =
+  | Sequential
+      (** Figure 1's per-channel feedback: O(t^2 log n) per move at C = t+1,
+          O(t log n) at C = 2t. *)
+  | Tree
+      (** Section 5.5 case 2 (C >= 2t^2): hypercube merge of witness
+          knowledge, O(log C' log n) per move.  Requires [channels_used] to
+          be a power of two with (channels_used / 2) * t <= C. *)
+
+type corruption =
+  | Forge_as_surrogate  (** forge relayed vectors only *)
+  | Lie_as_witness  (** invert feedback flags only *)
+  | Full  (** both (default) *)
+
+val run :
+  ?ame_params:Params.t ->
+  ?channels_used:int ->
+  ?feedback_mode:feedback_mode ->
+  ?vector_for:(int -> (int * string) list) ->
+  ?corrupted:int list ->
+  ?corruption:corruption ->
+  cfg:Radio.Config.t ->
+  pairs:(int * int) list ->
+  messages:(int * int -> string) ->
+  adversary:(Oracle.t -> Radio.Adversary.t) ->
+  unit ->
+  outcome
+(** [run ~cfg ~pairs ~messages ~adversary ()] executes f-AME for the
+    exchange set [pairs], where [messages (v, w)] is m_v,w.
+
+    [channels_used] (default [cfg.channels]) is the game's proposal size;
+    set it below [cfg.channels] to reproduce the larger-C regimes.
+    [vector_for] overrides the vector payload a node broadcasts for an owner
+    (the Section 5.6 optimization passes a constant-size digest); entries
+    keyed [-1] are delivered to any destination.  [adversary] receives the
+    schedule oracle so protocol-aware attacks can be expressed.
+
+    [corrupted] models the Byzantine-corruption question of Section 8: the
+    listed nodes follow the schedule (so honest nodes cannot detect them)
+    but (a) forge the vector whenever they broadcast {e as surrogates} for
+    another owner, and (b) invert their flag when serving {e as feedback
+    witnesses}.  Attack (a) breaks f-AME's authentication — exactly why the
+    paper's Byzantine sketch eliminates surrogates (see {!Direct}, which is
+    immune because every message is received from its own source); attack
+    (b) makes witnesses of one channel contradict each other, so listeners
+    can disagree on the referee's response — the agreement failure behind
+    the paper leaving Byzantine t-disruptability open.  Experiment E13
+    measures both.
+
+    Raises [Invalid_argument] if [cfg.n] is too small for the witness
+    schedule (see {!Params.nodes_required}). *)
+
+val default_vector : messages:(int * int -> string) -> pairs:(int * int) list -> int -> (int * string) list
+(** The unoptimized vector m_v,*: all of v's outgoing payloads. *)

@@ -1,0 +1,32 @@
+let rounds_consumed ~witnesses ~reps = Array.length witnesses * reps
+
+let rank_of witnesses_r id =
+  let rank = ref None in
+  Array.iteri (fun i w -> if w = id then rank := Some i) witnesses_r;
+  !rank
+
+let run ~my_id ~rng ~channels ~reps ~witnesses ~my_flag =
+  let k = Array.length witnesses in
+  let d = ref [] in
+  for r = 0 to k - 1 do
+    if Array.length witnesses.(r) <> channels then
+      invalid_arg "Feedback.run: witness sets must have size C";
+    match rank_of witnesses.(r) my_id with
+    | Some rank ->
+      (* Witness for channel r: occupy my rank channel every round. *)
+      if my_flag && not (List.mem r !d) then d := r :: !d;
+      let frame = if my_flag then Radio.Frame.Feedback_true r else Radio.Frame.Feedback_false in
+      for _ = 1 to reps do
+        Radio.Engine.transmit ~chan:rank frame
+      done
+    | None ->
+      (* Listener: a random channel per round; collect <true, r>. *)
+      for _ = 1 to reps do
+        let chan = Prng.Rng.int rng channels in
+        match Radio.Engine.listen ~chan with
+        | Some (Radio.Frame.Feedback_true r') when r' = r ->
+          if not (List.mem r !d) then d := r :: !d
+        | Some _ | None -> ()
+      done
+  done;
+  List.sort compare !d

@@ -1,0 +1,29 @@
+(** The communication-feedback sub-routine (Figure 1, Section 5.3).
+
+    After a communication round, nodes agree on which channels succeeded.
+    For each channel index r in turn, its C witnesses occupy all C channels
+    for [reps] rounds: broadcasting <true, r> (each on its own rank channel)
+    if their channel delivered, <false> otherwise — so every channel is
+    always occupied and the adversary can never spoof feedback, only jam.
+    Every other node listens on a uniformly random channel each round and
+    records r upon hearing <true, r>; with reps = Theta((C/(C-t)) log n) it
+    succeeds with high probability (Lemma 5).
+
+    This function is node-side code: it must be called inside an engine
+    fiber, by all nodes in the same round, with identical [witnesses]. *)
+
+val run :
+  my_id:int ->
+  rng:Prng.Rng.t ->
+  channels:int ->
+  reps:int ->
+  witnesses:int array array ->
+  my_flag:bool ->
+  int list
+(** [run ~my_id ~rng ~channels ~reps ~witnesses ~my_flag] consumes exactly
+    [Array.length witnesses * reps] rounds and returns the set D of channel
+    indices believed to have succeeded, sorted.  [my_flag] is consulted only
+    if [my_id] appears in some [witnesses.(r)] (each witness set must have
+    size [channels]; a node may witness at most one channel). *)
+
+val rounds_consumed : witnesses:int array array -> reps:int -> int

@@ -1,0 +1,57 @@
+type outcome = {
+  engine : Radio.Engine.result;
+  rounds_to_completion : int option;
+  coverage : int array;
+  fake_rumors_accepted : int;
+}
+
+let run ?(max_rounds = 200_000) ~cfg ~rumors ~adversary () =
+  let channels = cfg.Radio.Config.channels in
+  let n = cfg.Radio.Config.n in
+  let budget = cfg.Radio.Config.t in
+  (* known.(i) maps owner -> rumor body as node i believes it. *)
+  let known = Array.init n (fun i -> let h = Hashtbl.create 16 in Hashtbl.replace h i (rumors i); h) in
+  let completion_round = ref None in
+  let complete () =
+    let enough = n - budget in
+    let with_enough =
+      Array.fold_left (fun acc h -> if Hashtbl.length h >= enough then acc + 1 else acc) 0 known
+    in
+    with_enough >= enough
+  in
+  let node_body (ctx : Radio.Engine.ctx) =
+    let id = ctx.id in
+    let r = ref 0 in
+    while Option.is_none !completion_round && !r < max_rounds do
+      incr r;
+      let chan = Prng.Rng.int ctx.rng channels in
+      if Prng.Rng.bool ctx.rng then begin
+        let entries = Hashtbl.fold (fun owner body acc -> (owner, body) :: acc) known.(id) [] in
+        Radio.Engine.transmit ~chan
+          (Radio.Frame.Vector { owner = id; entries = List.sort compare entries })
+      end
+      else begin
+        match Radio.Engine.listen ~chan with
+        | Some (Radio.Frame.Vector { entries; _ }) ->
+          List.iter
+            (fun (owner, body) ->
+              if owner >= 0 && owner < n && not (Hashtbl.mem known.(id) owner) then
+                Hashtbl.replace known.(id) owner body)
+            entries
+        | Some _ | None -> ()
+      end;
+      (* The last node to act each round evaluates the global completion
+         predicate (simulation-level instrumentation, not protocol logic). *)
+      if id = n - 1 && Option.is_none !completion_round && complete () then
+        completion_round := Some !r
+    done
+  in
+  let engine = Radio.Engine.run cfg ~adversary (Array.make n node_body) in
+  let coverage = Array.map Hashtbl.length known in
+  let fake_rumors_accepted =
+    Array.fold_left
+      (fun acc h ->
+        Hashtbl.fold (fun owner body acc -> if body <> rumors owner then acc + 1 else acc) h acc)
+      0 known
+  in
+  { engine; rounds_to_completion = !completion_round; coverage; fake_rumors_accepted }

@@ -1,0 +1,30 @@
+(** Oblivious multi-channel gossip: the related-work baseline ([13],
+    Dolev-Gilbert-Guerraoui-Newport, DISC 2007).
+
+    Every node holds a rumor; in each round it picks a uniformly random
+    channel and, with probability 1/2, transmits its set of known rumors,
+    otherwise listens.  The protocol is oblivious (decisions never depend on
+    history) and unauthenticated: received rumors are taken at face value,
+    so a spoofing adversary can plant fake rumors — one of the two reasons
+    the paper rejects gossip for AME (the other being running time,
+    which experiment E10 measures). *)
+
+type outcome = {
+  engine : Radio.Engine.result;
+  rounds_to_completion : int option;
+      (** first round after which all but t nodes knew all but t rumors;
+          None if the bound was never reached within [max_rounds] *)
+  coverage : int array;  (** rumors known per node at the end *)
+  fake_rumors_accepted : int;
+      (** rumor slots holding an adversarial payload at the end *)
+}
+
+val run :
+  ?max_rounds:int ->
+  cfg:Radio.Config.t ->
+  rumors:(int -> string) ->
+  adversary:Radio.Adversary.t ->
+  unit ->
+  outcome
+(** [rumors i] is node i's initial rumor.  Runs until the all-but-t
+    completion condition holds or [max_rounds] (default 200_000) elapse. *)

@@ -1,0 +1,36 @@
+(** Tunable constants behind the paper's Theta(.) bounds.
+
+    The analysis leaves multiplicative constants unspecified; these knobs
+    make them explicit so experiments can sweep them (E5 exposes the
+    whp-failure cliff as [beta_feedback] shrinks). *)
+
+type t = {
+  beta_feedback : float;
+      (** Feedback repetitions per channel iteration =
+          ceil(beta * (C / (C - t)) * log2 n); Figure 1's
+          Theta((C/(C-t)) lg n). *)
+  watchers_factor : int;
+      (** Listeners per used channel in the message-transmission phase =
+          watchers_factor * (t+1); the paper uses 3(t+1). *)
+}
+
+val default : t
+(** beta_feedback = 3.0, watchers_factor = 3: zero observed whp failures
+    across the test-suite seeds. *)
+
+val feedback_reps : t -> channels:int -> budget:int -> n:int -> int
+(** Repetitions of the inner loop of communication-feedback for one channel
+    iteration.  [budget] is the adversary's t. *)
+
+val tree_reps : t -> n:int -> int
+(** Repetitions per merge direction / dissemination phase in the C >= 2t^2
+    tree feedback: ceil(beta * log2 n). *)
+
+val watchers_per_channel : t -> budget:int -> channels:int -> int
+(** Listeners assigned to each used channel; at least [channels] so the
+    witness set W[c] (of size C) can be carved out of them. *)
+
+val nodes_required : t -> channels_used:int -> budget:int -> channels:int -> int
+(** Minimum n for a legal schedule: watchers for every used channel plus the
+    at most 2(t+1) nodes involved in the proposal itself.  Generalizes the
+    paper's n > 3(t+1)^2 + 2(t+1). *)

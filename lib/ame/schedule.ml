@@ -1,0 +1,119 @@
+exception Divergence of string
+
+type t = {
+  items : Game.State.item array;
+  broadcaster : int array;
+  owner : int array;
+  receiver : int option array;
+  watchers : int array array;
+  witnesses : int array array;
+}
+
+module Int_set = Set.Make (Int)
+
+let build ~proposal ~surrogates ~n ~witness_size ~watchers_per_channel =
+  if watchers_per_channel < witness_size then
+    invalid_arg "Schedule.build: watchers_per_channel must be >= witness_size";
+  let items = Array.of_list proposal in
+  let k = Array.length items in
+  if k = 0 then raise (Divergence "empty proposal");
+  let used = ref Int_set.empty in
+  let claim v =
+    if Int_set.mem v !used then raise (Divergence (Printf.sprintf "node %d claimed twice" v));
+    used := Int_set.add v !used
+  in
+  (* Pass 1: receivers (edge destinations) and node-item broadcasters are
+     forced; claim them before choosing edge broadcasters. *)
+  let receiver = Array.make k None in
+  Array.iteri
+    (fun c item ->
+      match item with
+      | Game.State.Node v -> claim v
+      | Game.State.Edge (_, w) ->
+        receiver.(c) <- Some w;
+        claim w)
+    items;
+  (* Pass 2: broadcasters.  An edge's source broadcasts itself when free;
+     otherwise its first free surrogate stands in. *)
+  let broadcaster = Array.make k (-1) in
+  let owner = Array.make k (-1) in
+  Array.iteri
+    (fun c item ->
+      match item with
+      | Game.State.Node v ->
+        broadcaster.(c) <- v;
+        owner.(c) <- v
+      | Game.State.Edge (v, _) ->
+        owner.(c) <- v;
+        if not (Int_set.mem v !used) then begin
+          claim v;
+          broadcaster.(c) <- v
+        end
+        else begin
+          match List.find_opt (fun s -> not (Int_set.mem s !used)) (surrogates v) with
+          | Some s ->
+            claim s;
+            broadcaster.(c) <- s
+          | None -> raise (Divergence (Printf.sprintf "no free surrogate for node %d" v))
+        end)
+    items;
+  (* Pass 3: watchers, in increasing id order from the uninvolved nodes. *)
+  let watchers = Array.make k [||] in
+  let witnesses = Array.make k [||] in
+  let next_free = ref 0 in
+  let take_free () =
+    while !next_free < n && Int_set.mem !next_free !used do
+      incr next_free
+    done;
+    if !next_free >= n then raise (Divergence "not enough nodes for watchers");
+    let v = !next_free in
+    used := Int_set.add v !used;
+    v
+  in
+  for c = 0 to k - 1 do
+    let ws = Array.init watchers_per_channel (fun _ -> take_free ()) in
+    watchers.(c) <- ws;
+    witnesses.(c) <- Array.sub ws 0 witness_size
+  done;
+  { items; broadcaster; owner; receiver; watchers; witnesses }
+
+type role =
+  | Broadcast of { channel : int; owner : int }
+  | Receive of { channel : int; edge : int * int }
+  | Watch of { channel : int }
+  | Off
+
+let role_of t id =
+  let k = Array.length t.items in
+  let rec scan c =
+    if c >= k then Off
+    else if t.broadcaster.(c) = id then Broadcast { channel = c; owner = t.owner.(c) }
+    else if t.receiver.(c) = Some id then
+      (match t.items.(c) with
+       | Game.State.Edge e -> Receive { channel = c; edge = e }
+       | Game.State.Node _ -> assert false)
+    else if Array.exists (fun w -> w = id) t.watchers.(c) then Watch { channel = c }
+    else scan (c + 1)
+  in
+  scan 0
+
+let witness_channel t id =
+  let k = Array.length t.items in
+  let rec scan c =
+    if c >= k then None
+    else if Array.exists (fun w -> w = id) t.witnesses.(c) then Some c
+    else scan (c + 1)
+  in
+  scan 0
+
+let oracle_entry t =
+  let kinds =
+    Array.to_list
+      (Array.mapi
+         (fun c item ->
+           match item with
+           | Game.State.Node v -> (c, Oracle.Node_item v)
+           | Game.State.Edge e -> (c, Oracle.Edge_item e))
+         t.items)
+  in
+  { Oracle.channels_in_use = List.map fst kinds; kinds }

@@ -1,0 +1,55 @@
+(** Deterministic channel assignment for one f-AME message-transmission
+    round (Section 5.4).
+
+    Given the game proposal P (item i goes on channel i), the builder
+    assigns: a broadcaster per channel (the node itself for node items; the
+    source, or one of its recorded surrogates when the source is otherwise
+    busy, for edge items); the destination of each edge item as the
+    channel's receiver; and [watchers_per_channel] uninvolved listeners per
+    used channel, the first C of whom form the witness set W[c] for the
+    following communication-feedback call.
+
+    The construction is a pure function of its arguments, so all nodes
+    compute the identical schedule from identical game state (Invariant 1). *)
+
+exception Divergence of string
+(** Raised when no legal assignment exists (e.g. a starred source has no
+    free surrogate).  Under the paper's parameter assumptions this can only
+    happen after a low-probability feedback failure has desynchronized the
+    nodes' game states; runners treat it as a whp-failure event. *)
+
+type t = {
+  items : Game.State.item array;  (** index = channel *)
+  broadcaster : int array;  (** per used channel *)
+  owner : int array;  (** whose vector each channel carries *)
+  receiver : int option array;  (** edge destination, per used channel *)
+  watchers : int array array;  (** per used channel, sorted ids *)
+  witnesses : int array array;  (** per used channel: first C watchers = W[c] *)
+}
+
+val build :
+  proposal:Game.State.item list ->
+  surrogates:(int -> int list) ->
+  n:int ->
+  witness_size:int ->
+  watchers_per_channel:int ->
+  t
+(** [surrogates v] must list, in deterministic order, the nodes known to
+    hold v's message vector (the watchers of the round in which v was
+    starred).  [witness_size] is C, the total channel count: each witness
+    set W[c] must be able to occupy every channel during feedback, so
+    [watchers_per_channel >= witness_size] is required. *)
+
+type role =
+  | Broadcast of { channel : int; owner : int }
+  | Receive of { channel : int; edge : int * int }
+  | Watch of { channel : int }
+  | Off
+      (** not scheduled this round (idles during the message round) *)
+
+val role_of : t -> int -> role
+
+val witness_channel : t -> int -> int option
+(** The channel this node is a feedback witness for, if any. *)
+
+val oracle_entry : t -> Oracle.entry

@@ -1,0 +1,49 @@
+(** Information-theoretic secret growing (Section 8, open question 2).
+
+    The paper asks: if the adversary can listen on only t of the C channels
+    per round (instead of all of them), can nodes establish shared secrets
+    that are information-theoretically secure?  This module prototypes the
+    natural approach the question hints at:
+
+    - for R rounds, the sender broadcasts a fresh random value on a
+      uniformly random channel while the receiver listens on a uniformly
+      random channel; they coincide with probability 1/C;
+    - the receiver then announces {e publicly} which round indices it
+      received (indices reveal nothing about contents);
+    - both sides hash the concatenation of the agreed values into a key.
+
+    A restricted eavesdropper monitoring t channels per round overhears each
+    agreed value independently with probability about t/C, so it knows the
+    final key only if it overheard {e every} agreed value: probability
+    roughly (t/C)^k for k agreed values — vanishing, without any
+    computational assumption.  Experiment E17 measures the agreement rate,
+    the overheard fraction, and the empirical breach rate.
+
+    The module stays within the paper's conjecture: it grows a secret
+    between one pair; it does not claim efficient IT-secure AME (which the
+    paper conjectures requires exponential time). *)
+
+type outcome = {
+  engine : Radio.Engine.result;
+  agreed : int;  (** values both sides hold *)
+  overheard : int;  (** agreed values the eavesdropper also captured *)
+  breached : bool;  (** eavesdropper captured every agreed value *)
+  sender_key : string option;  (** None when nothing was agreed *)
+  receiver_key : string option;
+}
+
+val run :
+  rounds:int ->
+  cfg:Radio.Config.t ->
+  sender:int ->
+  receiver:int ->
+  eavesdrop_channels:int ->
+  ?jam_budget:int ->
+  unit ->
+  outcome
+(** [run ~rounds ~cfg ~sender ~receiver ~eavesdrop_channels ()] plays the
+    exchange phase; the adversary monitors [eavesdrop_channels] uniformly
+    random channels per round and additionally jams [jam_budget] (default
+    0, must be <= cfg.t) of the channels it monitors.  Uses the config seed
+    for all coins.  Both parties' derived keys are returned so tests can
+    check they match. *)

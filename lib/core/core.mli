@@ -1,0 +1,92 @@
+(** Secure communication over radio channels — public API.
+
+    This is the one-stop facade a downstream user imports.  It re-exports
+    the subsystem libraries under stable names and offers one-call entry
+    points for the paper's three deliverables:
+
+    - {!exchange}: run f-AME for a set of (source, destination, payload)
+      triples under a chosen adversary (Section 5);
+    - {!establish_group_key}: the Section 6 protocol, returning each node's
+      view and the agreed key statistics;
+    - {!open_channel}: the Section 7 long-lived emulated secure channel.
+
+    Lower-level access (custom adversaries, the starred-edge removal game,
+    the radio engine itself) is available through the re-exported modules:
+    {!Radio}, {!Game}, {!Ame}, {!Groupkey}, {!Secure_channel}, {!Crypto},
+    {!Rgraph}, {!Prng}. *)
+
+module Prng = Prng
+module Crypto = Crypto
+module Rgraph = Rgraph
+module Radio = Radio
+module Game = Game
+module Ame = Ame
+module Groupkey = Groupkey
+module Secure_channel = Secure_channel
+
+(** Canned adversaries selectable by name (CLI and examples). *)
+type attack =
+  | No_attack
+  | Random_jam  (** t uniformly random channels jammed per round *)
+  | Sweep_jam  (** deterministic rotating jam *)
+  | Schedule_jam  (** protocol-aware: jams the f-AME schedule *)
+  | Spoof  (** plants fake frames on random channels *)
+
+val attack_of_string : string -> (attack, string) result
+
+val attack_names : string list
+
+type exchange_report = {
+  delivered : ((int * int) * string) list;
+  failed : (int * int) list;
+  rounds : int;
+  disruption_cover : int option;
+  authentic : bool;  (** every delivered payload matches what was sent *)
+  diverged : bool;
+}
+
+val exchange :
+  ?seed:int64 ->
+  ?channels:int ->
+  t:int ->
+  n:int ->
+  attack:attack ->
+  (int * int * string) list ->
+  exchange_report
+(** [exchange ~t ~n ~attack triples] runs f-AME on the given
+    (source, destination, payload) triples with C = t+1 channels (or
+    [channels] if given). *)
+
+type group_key_report = {
+  agreed_holders : int;
+  wrong_holders : int;
+  ignorant : int;
+  setup_rounds : int;
+  group_key_of : int -> string option;
+}
+
+val establish_group_key :
+  ?seed:int64 -> t:int -> n:int -> attack:attack -> unit -> group_key_report
+
+type channel_report = {
+  deliveries : (int * int * string * int) list;
+      (** emulated round, sender, message, receiver count *)
+  rounds_per_message : int;
+  secrecy_ok : bool;
+  authentication_ok : bool;
+}
+
+val open_channel :
+  ?seed:int64 ->
+  ?key:string ->
+  t:int ->
+  n:int ->
+  attack:attack ->
+  (int * int * string) list ->
+  channel_report
+(** [open_channel ~t ~n ~attack sends] emulates the secure channel for a
+    workload of (emulated round, sender, message) triples.  If [key] is
+    omitted, a fresh random group key shared by all n nodes is used
+    (composing with {!establish_group_key} is shown in the examples). *)
+
+val version : string

@@ -1,0 +1,70 @@
+type sealed = { nonce : string; body : string; tag : string }
+
+let enc_key key = Sha256.digest ("cipher-enc|" ^ key)
+let mac_key key = Sha256.digest ("cipher-mac|" ^ key)
+
+let encode_nonce n =
+  let b = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set b i (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical n (8 * (7 - i))) 0xFFL)))
+  done;
+  Bytes.unsafe_to_string b
+
+let xor_with a b =
+  assert (String.length a = String.length b);
+  String.init (String.length a) (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+let seal ~key ~nonce plaintext =
+  let nonce = encode_nonce nonce in
+  let stream = Prf.keystream ~key:(enc_key key) ~nonce (String.length plaintext) in
+  let body = xor_with plaintext stream in
+  let tag = Hmac.mac ~key:(mac_key key) (nonce ^ body) in
+  { nonce; body; tag }
+
+let open_ ~key { nonce; body; tag } =
+  if not (Hmac.verify ~key:(mac_key key) ~tag (nonce ^ body)) then None
+  else
+    let stream = Prf.keystream ~key:(enc_key key) ~nonce (String.length body) in
+    Some (xor_with body stream)
+
+let wire_size { nonce; body; tag } =
+  String.length nonce + String.length body + String.length tag
+
+let encode { nonce; body; tag } =
+  let len_field n =
+    let b = Bytes.create 4 in
+    for i = 0 to 3 do
+      Bytes.set b i (Char.chr ((n lsr (8 * (3 - i))) land 0xFF))
+    done;
+    Bytes.unsafe_to_string b
+  in
+  len_field (String.length nonce) ^ nonce
+  ^ len_field (String.length body) ^ body
+  ^ len_field (String.length tag) ^ tag
+
+let decode s =
+  let read_len pos =
+    if pos + 4 > String.length s then None
+    else
+      let v = ref 0 in
+      for i = 0 to 3 do
+        v := (!v lsl 8) lor Char.code s.[pos + i]
+      done;
+      Some (!v, pos + 4)
+  in
+  let read_field pos =
+    match read_len pos with
+    | None -> None
+    | Some (len, pos) ->
+      if len < 0 || pos + len > String.length s then None
+      else Some (String.sub s pos len, pos + len)
+  in
+  match read_field 0 with
+  | None -> None
+  | Some (nonce, pos) ->
+    (match read_field pos with
+     | None -> None
+     | Some (body, pos) ->
+       (match read_field pos with
+        | Some (tag, pos) when pos = String.length s -> Some { nonce; body; tag }
+        | _ -> None))

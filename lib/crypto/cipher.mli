@@ -1,0 +1,27 @@
+(** Authenticated symmetric encryption (encrypt-then-MAC).
+
+    Provides the "encrypt and sign" operations the paper assumes once shared
+    secrets exist: secrecy against an eavesdropping adversary and
+    authentication against spoofed frames.  Construction: a CTR-style stream
+    cipher keyed by HMAC-SHA256 (see {!Prf}), with an HMAC-SHA256 tag over
+    nonce and ciphertext.  Encryption and MAC keys are domain-separated
+    derivations of the session key. *)
+
+type sealed = { nonce : string; body : string; tag : string }
+(** A sealed frame: 8-byte nonce, ciphertext, 32-byte tag. *)
+
+val seal : key:string -> nonce:int64 -> string -> sealed
+(** [seal ~key ~nonce plaintext].  Nonces must not repeat under one key;
+    callers use the round number, which the synchronous model makes unique. *)
+
+val open_ : key:string -> sealed -> string option
+(** [open_ ~key sealed] is [Some plaintext] iff the tag verifies. *)
+
+val wire_size : sealed -> int
+(** Total bytes on the air, used by the message-size experiment (E11). *)
+
+val encode : sealed -> string
+(** Flat wire encoding (length-prefixed fields). *)
+
+val decode : string -> sealed option
+(** Inverse of {!encode}; [None] on malformed input. *)

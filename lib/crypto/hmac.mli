@@ -1,0 +1,13 @@
+(** HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+
+    The message-authentication code used by the authenticated cipher and the
+    long-lived communication service.  Verified against the RFC 4231 test
+    vectors in the test suite. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte raw HMAC-SHA256 tag. *)
+
+val mac_hex : key:string -> string -> string
+
+val verify : key:string -> tag:string -> string -> bool
+(** Constant-time comparison of [tag] against the MAC of the message. *)

@@ -1,0 +1,32 @@
+let encode_counter n =
+  let b = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set b i (Char.chr ((n lsr (8 * (7 - i))) land 0xFF))
+  done;
+  Bytes.unsafe_to_string b
+
+let bytes ~key ~label ~counter = Hmac.mac ~key (label ^ "\x00" ^ encode_counter counter)
+
+let int64 ~key ~label ~counter =
+  let raw = bytes ~key ~label ~counter in
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code raw.[i]))
+  done;
+  Int64.shift_right_logical !acc 1
+
+let below ~key ~label ~counter bound =
+  assert (bound > 0);
+  (* Modulo bias is < bound/2^63: irrelevant for channel counts. *)
+  Int64.to_int (Int64.rem (int64 ~key ~label ~counter) (Int64.of_int bound))
+
+let channel_hop ~key ~round ~channels = below ~key ~label:"channel-hop" ~counter:round channels
+
+let keystream ~key ~nonce len =
+  let out = Buffer.create (len + 32) in
+  let block = ref 0 in
+  while Buffer.length out < len do
+    Buffer.add_string out (bytes ~key ~label:("ks|" ^ nonce) ~counter:!block);
+    incr block
+  done;
+  Buffer.sub out 0 len

@@ -1,0 +1,24 @@
+(** Keyed pseudo-random function built on HMAC-SHA256.
+
+    The paper uses shared secret keys as seeds for pseudo-random
+    channel-hopping patterns (Sections 6 and 7).  This module provides the
+    PRF those patterns are drawn from: deterministic for both parties holding
+    the key, unpredictable to the adversary. *)
+
+val bytes : key:string -> label:string -> counter:int -> string
+(** 32 pseudo-random bytes for ([label], [counter]). *)
+
+val int64 : key:string -> label:string -> counter:int -> int64
+(** First 8 bytes of {!bytes} as a big-endian non-negative Int64. *)
+
+val below : key:string -> label:string -> counter:int -> int -> int
+(** [below ~key ~label ~counter bound] is a pseudo-random value in
+    [\[0, bound)].  Requires [bound > 0]. *)
+
+val channel_hop : key:string -> round:int -> channels:int -> int
+(** The channel for [round] in the hopping pattern keyed by [key]:
+    [below] with a fixed domain-separation label. *)
+
+val keystream : key:string -> nonce:string -> int -> string
+(** [keystream ~key ~nonce len]: [len] bytes of CTR-mode PRF output, used by
+    {!Cipher} as a stream cipher. *)

@@ -1,0 +1,172 @@
+(* SHA-256 per FIPS 180-4.  All word arithmetic is on Int32 (wrapping),
+   message length is tracked in bytes as Int64. *)
+
+let digest_size = 32
+let block_size = 64
+
+let k =
+  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl; 0x59f111f1l;
+     0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l; 0x243185bel; 0x550c7dc3l;
+     0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l; 0xc19bf174l; 0xe49b69c1l; 0xefbe4786l;
+     0x0fc19dc6l; 0x240ca1ccl; 0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal;
+     0x983e5152l; 0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl; 0x53380d13l;
+     0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l; 0xa2bfe8a1l; 0xa81a664bl;
+     0xc24b8b70l; 0xc76c51a3l; 0xd192e819l; 0xd6990624l; 0xf40e3585l; 0x106aa070l;
+     0x19a4c116l; 0x1e376c08l; 0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al;
+     0x5b9cca4fl; 0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+let initial_h () =
+  [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
+     0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |]
+
+type ctx = {
+  h : int32 array;
+  buf : Bytes.t; (* one block *)
+  mutable buf_len : int;
+  mutable total_bytes : int64;
+  w : int32 array; (* message schedule scratch *)
+}
+
+let init () =
+  { h = initial_h (); buf = Bytes.create block_size; buf_len = 0; total_bytes = 0L;
+    w = Array.make 64 0l }
+
+let rotr x n = Int32.(logor (shift_right_logical x n) (shift_left x (32 - n)))
+let shr x n = Int32.shift_right_logical x n
+
+let big_sigma0 x = Int32.logxor (rotr x 2) (Int32.logxor (rotr x 13) (rotr x 22))
+let big_sigma1 x = Int32.logxor (rotr x 6) (Int32.logxor (rotr x 11) (rotr x 25))
+let small_sigma0 x = Int32.logxor (rotr x 7) (Int32.logxor (rotr x 18) (shr x 3))
+let small_sigma1 x = Int32.logxor (rotr x 17) (Int32.logxor (rotr x 19) (shr x 10))
+
+let ch e f g = Int32.logxor (Int32.logand e f) (Int32.logand (Int32.lognot e) g)
+
+let maj a b c =
+  Int32.logxor (Int32.logand a b) (Int32.logxor (Int32.logand a c) (Int32.logand b c))
+
+let compress ctx block pos =
+  let w = ctx.w in
+  for i = 0 to 15 do
+    let base = pos + (i * 4) in
+    let byte j = Int32.of_int (Char.code (Bytes.get block (base + j))) in
+    w.(i) <-
+      Int32.(logor (shift_left (byte 0) 24)
+               (logor (shift_left (byte 1) 16) (logor (shift_left (byte 2) 8) (byte 3))))
+  done;
+  for i = 16 to 63 do
+    w.(i) <-
+      Int32.add (small_sigma1 w.(i - 2))
+        (Int32.add w.(i - 7) (Int32.add (small_sigma0 w.(i - 15)) w.(i - 16)))
+  done;
+  let h = ctx.h in
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for i = 0 to 63 do
+    let t1 =
+      Int32.add !hh
+        (Int32.add (big_sigma1 !e) (Int32.add (ch !e !f !g) (Int32.add k.(i) w.(i))))
+    in
+    let t2 = Int32.add (big_sigma0 !a) (maj !a !b !c) in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := Int32.add !d t1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := Int32.add t1 t2
+  done;
+  h.(0) <- Int32.add h.(0) !a;
+  h.(1) <- Int32.add h.(1) !b;
+  h.(2) <- Int32.add h.(2) !c;
+  h.(3) <- Int32.add h.(3) !d;
+  h.(4) <- Int32.add h.(4) !e;
+  h.(5) <- Int32.add h.(5) !f;
+  h.(6) <- Int32.add h.(6) !g;
+  h.(7) <- Int32.add h.(7) !hh
+
+let update_bytes ctx src ~pos ~len =
+  assert (pos >= 0 && len >= 0 && pos + len <= Bytes.length src);
+  ctx.total_bytes <- Int64.add ctx.total_bytes (Int64.of_int len);
+  let remaining = ref len and offset = ref pos in
+  (* Fill a partial buffered block first. *)
+  if ctx.buf_len > 0 then begin
+    let take = min !remaining (block_size - ctx.buf_len) in
+    Bytes.blit src !offset ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    offset := !offset + take;
+    remaining := !remaining - take;
+    if ctx.buf_len = block_size then begin
+      compress ctx ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while !remaining >= block_size do
+    compress ctx src !offset;
+    offset := !offset + block_size;
+    remaining := !remaining - block_size
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit src !offset ctx.buf ctx.buf_len !remaining;
+    ctx.buf_len <- ctx.buf_len + !remaining
+  end
+
+let update ctx s = update_bytes ctx (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let finalize ctx =
+  let bit_len = Int64.mul ctx.total_bytes 8L in
+  (* Padding: 0x80, zeros, 8-byte big-endian bit length. *)
+  let pad_len =
+    let rem = (ctx.buf_len + 1 + 8) mod block_size in
+    if rem = 0 then 1 else 1 + (block_size - rem)
+  in
+  let tail = Bytes.make (pad_len + 8) '\000' in
+  Bytes.set tail 0 '\x80';
+  for i = 0 to 7 do
+    let shift = 8 * (7 - i) in
+    Bytes.set tail (pad_len + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bit_len shift) 0xFFL)))
+  done;
+  (* Bypass update's length accounting: the padding is not message data. *)
+  let remaining = ref (Bytes.length tail) and offset = ref 0 in
+  if ctx.buf_len > 0 then begin
+    let take = min !remaining (block_size - ctx.buf_len) in
+    Bytes.blit tail !offset ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    offset := !offset + take;
+    remaining := !remaining - take;
+    if ctx.buf_len = block_size then begin
+      compress ctx ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while !remaining >= block_size do
+    compress ctx tail !offset;
+    offset := !offset + block_size;
+    remaining := !remaining - block_size
+  done;
+  assert (!remaining = 0 && ctx.buf_len = 0);
+  let out = Bytes.create digest_size in
+  for i = 0 to 7 do
+    let word = ctx.h.(i) in
+    for j = 0 to 3 do
+      let shift = 8 * (3 - j) in
+      Bytes.set out ((i * 4) + j)
+        (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical word shift) 0xFFl)))
+    done
+  done;
+  Bytes.unsafe_to_string out
+
+let digest s =
+  let ctx = init () in
+  update ctx s;
+  finalize ctx
+
+let hex_of raw =
+  let b = Buffer.create (2 * String.length raw) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) raw;
+  Buffer.contents b
+
+let digest_hex s = hex_of (digest s)

@@ -1,0 +1,31 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    Used as the collision-resistant hash the paper assumes for reconstruction
+    hashes (H1), vector signatures (H2), key hashes, and as the compression
+    core of {!Hmac} and {!Prf}.  Verified against the standard NIST test
+    vectors in the test suite. *)
+
+type ctx
+(** Streaming hash context. *)
+
+val init : unit -> ctx
+
+val update : ctx -> string -> unit
+(** Absorb bytes.  May be called any number of times. *)
+
+val update_bytes : ctx -> Bytes.t -> pos:int -> len:int -> unit
+
+val finalize : ctx -> string
+(** The 32-byte raw digest.  The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot: [digest s] is the 32-byte raw digest of [s]. *)
+
+val digest_hex : string -> string
+(** One-shot digest rendered as 64 lowercase hex characters. *)
+
+val hex_of : string -> string
+(** Render raw bytes as lowercase hex. *)
+
+val digest_size : int
+(** 32. *)

@@ -1,0 +1,60 @@
+let e13 ~quick fmt =
+  Format.fprintf fmt
+    "@.== E13 / Section 8 open question 1: corrupted surrogates vs direct exchange ==@.";
+  Format.fprintf fmt
+    "two attacks: forging relayed vectors (poisons f-AME, direct immune) and lying in@.";
+  Format.fprintf fmt
+    "feedback (breaks f-AME agreement -- why Byzantine t-disruptability stays open)@.@.";
+  let t = 1 in
+  let channels = t + 1 in
+  let corruption_levels = if quick then [ 4 ] else [ 0; 2; 4; 8 ] in
+  let rows =
+    List.concat_map
+      (fun corrupt_count ->
+        (* Two sources fan out to 20..25.  With t = 1 both sources are
+           starred in the first game move, so watcher (and therefore
+           surrogate) duty starts at node 2 -- which is exactly where the
+           corrupted nodes sit. *)
+        let sources = [ 0; 1 ] in
+        let dests = [ 20; 21; 22; 23; 24; 25 ] in
+        let pairs = List.concat_map (fun v -> List.map (fun w -> (v, w)) dests) sources in
+        let corrupted = List.init corrupt_count (fun i -> 2 + i) in
+        let n = 30 in
+        let cfg =
+          Radio.Config.make ~n ~channels ~t ~seed:(Int64.of_int (7 + corrupt_count))
+            ~max_rounds:20_000_000 ()
+        in
+        let forged delivered =
+          List.length
+            (List.filter (fun (pair, body) -> body <> Common.default_messages pair) delivered)
+        in
+        let fame_with corruption =
+          Ame.Fame.run ~corrupted ~corruption ~cfg ~pairs ~messages:Common.default_messages
+            ~adversary:(Common.schedule_jam ~channels ~budget:t)
+            ()
+        in
+        let forging = fame_with Ame.Fame.Forge_as_surrogate in
+        let lying = fame_with Ame.Fame.Lie_as_witness in
+        let direct =
+          Ame.Direct.run ~cfg ~pairs ~messages:Common.default_messages
+            ~adversary:(Common.schedule_jam ~channels ~budget:t)
+            ()
+        in
+        let fame_row label (o : Ame.Fame.outcome) =
+          [ label; string_of_int corrupt_count;
+            string_of_int (List.length o.Ame.Fame.delivered);
+            string_of_int (forged o.Ame.Fame.delivered);
+            string_of_bool o.Ame.Fame.diverged ]
+        in
+        [ fame_row "f-AME/forging-surrogates" forging;
+          fame_row "f-AME/lying-witnesses" lying;
+          [ "direct"; string_of_int corrupt_count;
+            string_of_int (List.length direct.Ame.Direct.delivered);
+            string_of_int (forged direct.Ame.Direct.delivered);
+            string_of_bool direct.Ame.Direct.diverged ] ])
+      corruption_levels
+  in
+  Common.fmt_table fmt
+    ~header:
+      [ "protocol/attack"; "corrupted"; "delivered"; "forged accepted"; "agreement broken" ]
+    rows

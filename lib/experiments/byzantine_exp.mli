@@ -1,0 +1,14 @@
+(** Experiment E13: the Byzantine-corruption open question (Section 8).
+
+    The paper notes that under node corruption, surrogates become a
+    liability — a corrupted surrogate can forge the vector it relays, and
+    the receiver has no way to notice (the frame arrives on the scheduled
+    channel) — and sketches the fix: eliminate surrogates and receive every
+    message directly from its source, settling for 2t-disruptability.
+
+    This experiment stages exactly that: corrupted nodes that follow the
+    schedule but forge when relaying.  Against f-AME they poison deliveries;
+    against the direct baseline they can only garble their {e own} messages,
+    so every honest-source delivery stays authentic. *)
+
+val e13 : quick:bool -> Format.formatter -> unit

@@ -1,0 +1,8 @@
+(** Experiment E9: the Section 7 long-lived communication service.
+
+    Per emulated round the service costs Theta(t log n) real rounds; under a
+    jamming adversary that cannot predict the key-seeded hopping pattern,
+    key holders receive every broadcast with high probability, the <= t
+    outsiders decode nothing, and no frame travels unencrypted. *)
+
+val e9 : quick:bool -> Format.formatter -> unit

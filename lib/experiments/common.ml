@@ -1,0 +1,66 @@
+let log2 x = log x /. log 2.0
+
+let fmt_table fmt ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell -> Format.fprintf fmt "%-*s  " (List.nth widths c) cell)
+      row;
+    Format.fprintf fmt "@."
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let pow2_floor x =
+  assert (x >= 1);
+  let rec go p = if p * 2 <= x then go (p * 2) else p in
+  go 1
+
+let fame_nodes_for ~t ~channels_used ~channels =
+  let required =
+    Ame.Params.nodes_required Ame.Params.default ~channels_used ~budget:t ~channels
+  in
+  required + (2 * channels_used) + 4
+
+let schedule_jam ~channels ~budget board =
+  Ame.Attacks.schedule_jammer board ~channels ~budget ~prefer:Ame.Attacks.Prefer_edges
+
+let random_jam ~seed ~channels ~budget =
+  Radio.Adversary.random_jammer (Prng.Rng.create seed) ~channels ~budget
+
+let default_messages (v, w) = Printf.sprintf "m-%d-%d" v w
+
+type fame_point = {
+  rounds : int;
+  moves : int;
+  delivered : int;
+  failed : int;
+  vc : int option;
+  diverged : bool;
+}
+
+let run_fame ?channels_used ?feedback_mode ?adversary ~seed ~n ~channels ~t ~pairs () =
+  let cfg = Radio.Config.make ~seed ~n ~channels ~t ~max_rounds:20_000_000 () in
+  let adversary =
+    Option.value adversary ~default:(schedule_jam ~channels ~budget:t)
+  in
+  let o =
+    Ame.Fame.run ?channels_used ?feedback_mode ~cfg ~pairs
+      ~messages:default_messages ~adversary ()
+  in
+  { rounds = o.Ame.Fame.engine.Radio.Engine.rounds_used;
+    moves = o.Ame.Fame.moves;
+    delivered = List.length o.Ame.Fame.delivered;
+    failed = List.length o.Ame.Fame.failed;
+    vc = o.Ame.Fame.disruption_vc;
+    diverged = o.Ame.Fame.diverged }

@@ -1,0 +1,42 @@
+(** Shared plumbing for the experiment harness: table rendering, parameter
+    grids, adversary construction, and normalization helpers. *)
+
+val log2 : float -> float
+
+val fmt_table : Format.formatter -> header:string list -> string list list -> unit
+(** Render rows as an aligned ASCII table. *)
+
+val mean : float list -> float
+
+val pow2_floor : int -> int
+(** Largest power of two <= x (x >= 1). *)
+
+val fame_nodes_for : t:int -> channels_used:int -> channels:int -> int
+(** A node count comfortably above {!Ame.Params.nodes_required}. *)
+
+val schedule_jam : channels:int -> budget:int -> Ame.Oracle.t -> Radio.Adversary.t
+
+val random_jam : seed:int64 -> channels:int -> budget:int -> Radio.Adversary.t
+
+val default_messages : int * int -> string
+
+type fame_point = {
+  rounds : int;
+  moves : int;
+  delivered : int;
+  failed : int;
+  vc : int option;
+  diverged : bool;
+}
+
+val run_fame :
+  ?channels_used:int ->
+  ?feedback_mode:Ame.Fame.feedback_mode ->
+  ?adversary:(Ame.Oracle.t -> Radio.Adversary.t) ->
+  seed:int64 ->
+  n:int ->
+  channels:int ->
+  t:int ->
+  pairs:(int * int) list ->
+  unit ->
+  fame_point

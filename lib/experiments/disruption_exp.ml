@@ -1,0 +1,80 @@
+let triangles ~t = List.init t (fun i -> [ 3 * i; (3 * i) + 1; (3 * i) + 2 ])
+
+let triangle_pairs ~t =
+  List.concat_map (fun tri -> Rgraph.Workload.complete_on tri) (triangles ~t)
+
+let triple_of ~t v = if v < 3 * t then Some (v / 3) else None
+
+let fame_row ~name ~t ~pairs ~adversary ~seed =
+  let channels = t + 1 in
+  let n =
+    max (Common.fame_nodes_for ~t ~channels_used:channels ~channels)
+      (2 + List.fold_left (fun acc (v, w) -> max acc (max v w)) 0 pairs)
+  in
+  let p = Common.run_fame ~seed ~n ~channels ~t ~pairs ~adversary () in
+  [ "f-AME"; name; string_of_int t; string_of_int (List.length pairs);
+    string_of_int p.Common.delivered; string_of_int p.Common.failed;
+    (match p.Common.vc with Some v -> string_of_int v | None -> "-");
+    string_of_int t ]
+
+let direct_row ~name ~t ~pairs ~adversary ~seed =
+  let channels = t + 1 in
+  let n =
+    max (Common.fame_nodes_for ~t ~channels_used:channels ~channels)
+      (2 + List.fold_left (fun acc (v, w) -> max acc (max v w)) 0 pairs)
+  in
+  let cfg = Radio.Config.make ~seed ~n ~channels ~t ~max_rounds:20_000_000 () in
+  let o =
+    Ame.Direct.run ~cfg ~pairs ~messages:Common.default_messages ~adversary ()
+  in
+  [ "direct"; name; string_of_int t; string_of_int (List.length pairs);
+    string_of_int (List.length o.Ame.Direct.delivered);
+    string_of_int (List.length o.Ame.Direct.failed);
+    (match o.Ame.Direct.disruption_vc with Some v -> string_of_int v | None -> "-");
+    string_of_int (2 * t) ]
+
+let header = [ "protocol"; "adversary"; "t"; "|E|"; "delivered"; "failed"; "vc"; "bound" ]
+
+let e6 ~quick fmt =
+  Format.fprintf fmt "@.== E6 / Theorems 2+6: f-AME disruption cover <= t (optimal) ==@.@.";
+  let ts = if quick then [ 2 ] else [ 1; 2; 3 ] in
+  let rows =
+    List.concat_map
+      (fun t ->
+        let channels = t + 1 in
+        let n = Common.fame_nodes_for ~t ~channels_used:channels ~channels in
+        let disjoint = Rgraph.Workload.disjoint_pairs ~n ~count:(4 * t) in
+        let clustered = triangle_pairs ~t in
+        [ fame_row ~name:"schedule-jam" ~t ~pairs:disjoint
+            ~adversary:(Common.schedule_jam ~channels ~budget:t)
+            ~seed:(Int64.of_int (100 + t));
+          fame_row ~name:"random-jam" ~t ~pairs:disjoint
+            ~adversary:(fun _ -> Common.random_jam ~seed:(Int64.of_int (200 + t)) ~channels ~budget:t)
+            ~seed:(Int64.of_int (300 + t));
+          fame_row ~name:"triangle" ~t ~pairs:clustered
+            ~adversary:(fun board ->
+              Ame.Attacks.triangle_jammer board ~channels ~budget:t ~triple_of:(triple_of ~t))
+            ~seed:(Int64.of_int (400 + t)) ])
+      ts
+  in
+  Common.fmt_table fmt ~header rows
+
+let e12 ~quick fmt =
+  Format.fprintf fmt
+    "@.== E12 / ablation: surrogates on vs off under the triangle adversary ==@.";
+  Format.fprintf fmt
+    "direct exchange (no surrogates) is cornered into vertex cover 2t; f-AME stays at <= t@.@.";
+  let ts = if quick then [ 2 ] else [ 1; 2; 3 ] in
+  let rows =
+    List.concat_map
+      (fun t ->
+        let channels = t + 1 in
+        let pairs = triangle_pairs ~t in
+        let adversary board =
+          Ame.Attacks.triangle_jammer board ~channels ~budget:t ~triple_of:(triple_of ~t)
+        in
+        [ direct_row ~name:"triangle" ~t ~pairs ~adversary ~seed:(Int64.of_int (500 + t));
+          fame_row ~name:"triangle" ~t ~pairs ~adversary ~seed:(Int64.of_int (600 + t)) ])
+      ts
+  in
+  Common.fmt_table fmt ~header rows

@@ -1,0 +1,14 @@
+(** Experiments E6 and E12: disruptability.
+
+    E6: f-AME's disruption graph has vertex cover <= t under every adversary
+    tried (Theorem 6), while Theorem 2 says no protocol can beat t — so
+    f-AME is optimally resilient.
+
+    E12 (ablation): remove the surrogate mechanism (the direct baseline) and
+    the triangle-isolating adversary of Section 5 forces a disruption graph
+    with vertex cover 2t — exactly the gap the paper's second insight
+    closes. *)
+
+val e6 : quick:bool -> Format.formatter -> unit
+
+val e12 : quick:bool -> Format.formatter -> unit

@@ -1,0 +1,30 @@
+let e15 ~quick fmt =
+  Format.fprintf fmt "@.== E15 / related-work model: adversary with a total energy budget ==@.@.";
+  let t = 2 in
+  let channels = t + 1 in
+  let n = Common.fame_nodes_for ~t ~channels_used:channels ~channels in
+  let pairs = Rgraph.Workload.disjoint_pairs ~n ~count:8 in
+  let budgets = if quick then [ 0; 100 ] else [ 0; 20; 50; 100; 200; 500; max_int ] in
+  let rows =
+    List.map
+      (fun total ->
+        let adversary board =
+          let inner =
+            Ame.Attacks.schedule_jammer board ~channels ~budget:t
+              ~prefer:Ame.Attacks.Prefer_edges
+          in
+          if total = max_int then inner else Radio.Adversary.energy_bounded ~total inner
+        in
+        let p =
+          Common.run_fame ~adversary ~seed:(Int64.of_int (total land 0xFFFF)) ~n ~channels ~t
+            ~pairs ()
+        in
+        [ (if total = max_int then "unbounded" else string_of_int total);
+          string_of_int p.Common.rounds; string_of_int p.Common.delivered;
+          string_of_int p.Common.failed;
+          (match p.Common.vc with Some v -> string_of_int v | None -> "-") ])
+      budgets
+  in
+  Common.fmt_table fmt
+    ~header:[ "energy budget"; "rounds"; "delivered"; "failed"; "vc (bound t=2)" ]
+    rows

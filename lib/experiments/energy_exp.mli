@@ -1,0 +1,11 @@
+(** Experiment E15: the bounded-energy adversary model of the related work
+    (Gilbert-Guerraoui-Newport 2006; Koo et al. 2006).
+
+    The paper's adversary has unbounded energy (t channels every round,
+    forever); the related-work model charges per transmission.  This
+    experiment sweeps the total strike budget and shows f-AME degrading
+    gracefully: disruption stays within t regardless, and once the budget
+    runs dry the protocol finishes every exchange the game can still
+    propose. *)
+
+val e15 : quick:bool -> Format.formatter -> unit

@@ -1,0 +1,15 @@
+(** Experiments E1-E3: the three rows of Figure 3, measured.
+
+    Each row of the paper's table claims an asymptotic running time for
+    f-AME in a channel regime; these experiments sweep |E| (and t, n) and
+    report measured rounds next to the claimed normalization — a flat
+    normalized column reproduces the row's shape. *)
+
+val e1 : quick:bool -> Format.formatter -> unit
+(** C = t+1: rounds / (|E| t^2 log n) should be near-constant. *)
+
+val e2 : quick:bool -> Format.formatter -> unit
+(** C = 2t: rounds / (|E| log n) should be near-constant. *)
+
+val e3 : quick:bool -> Format.formatter -> unit
+(** C = 2t^2 with tree feedback: rounds / (|E| log^2 n / t) near-constant. *)

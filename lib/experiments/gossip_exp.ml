@@ -1,0 +1,41 @@
+let rumor i = Printf.sprintf "rumor-%d" i
+
+let e10 ~quick fmt =
+  Format.fprintf fmt "@.== E10 / gossip baseline [13] vs f-AME (t = 1, C = 2) ==@.@.";
+  let t = 1 in
+  let channels = 2 in
+  let ns = if quick then [ 20 ] else [ 20; 28; 36; 44 ] in
+  let rows =
+    List.concat_map
+      (fun n ->
+        (* Gossip under a spoofing adversary that plants fake rumors. *)
+        let cfg = Radio.Config.make ~seed:(Int64.of_int n) ~n ~channels ~t () in
+        let spoof_rng = Prng.Rng.create (Int64.of_int (n * 13)) in
+        let adversary =
+          Radio.Adversary.spoofer spoof_rng ~channels ~budget:t
+            ~forge:(fun ~round chan ->
+              Radio.Frame.Vector
+                { owner = chan;
+                  entries = [ ((round mod n), Printf.sprintf "FAKE-%d" round) ] })
+        in
+        let g = Ame.Gossip.run ~cfg ~rumors:rumor ~adversary () in
+        let gossip_rounds =
+          match g.Ame.Gossip.rounds_to_completion with
+          | Some r -> string_of_int r
+          | None -> ">" ^ string_of_int g.Ame.Gossip.engine.Radio.Engine.rounds_used
+        in
+        (* f-AME on a sparse pair set of the same population. *)
+        let pairs = Rgraph.Workload.disjoint_pairs ~n ~count:(n / 4) in
+        let p =
+          Common.run_fame ~seed:(Int64.of_int (n + 1)) ~n ~channels ~t ~pairs ()
+        in
+        [ [ "gossip"; string_of_int n; "all-to-all"; gossip_rounds;
+            string_of_int g.Ame.Gossip.fake_rumors_accepted ];
+          [ "f-AME"; string_of_int n;
+            Printf.sprintf "%d pairs" (List.length pairs); string_of_int p.Common.rounds;
+            "0" ] ])
+      ns
+  in
+  Common.fmt_table fmt
+    ~header:[ "protocol"; "n"; "workload"; "rounds"; "fake payloads accepted" ]
+    rows

@@ -1,0 +1,9 @@
+(** Experiment E10: the oblivious-gossip baseline of [13] against f-AME.
+
+    Two comparisons the paper's introduction and related-work sections make:
+    (1) speed on a sparse exchange set — gossip must disseminate everything
+    to everyone while f-AME only pays for the requested pairs; and
+    (2) authenticity — gossip accepts spoofed rumors at face value, f-AME
+    accepts none. *)
+
+val e10 : quick:bool -> Format.formatter -> unit

@@ -1,0 +1,7 @@
+(** Experiment E8: the Section 6 group-key protocol.
+
+    Measures total setup rounds against the claimed Theta(n t^3 log n) and
+    verifies the agreement guarantee: at least n - t nodes adopt one common
+    key, nobody adopts a different one. *)
+
+val e8 : quick:bool -> Format.formatter -> unit

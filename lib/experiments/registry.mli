@@ -1,0 +1,14 @@
+(** Registry of all paper experiments, keyed by the ids used in DESIGN.md,
+    EXPERIMENTS.md, `bench/main.exe`, and `bin/radio_sim.exe experiment`. *)
+
+type experiment = {
+  id : string;
+  title : string;
+  run : quick:bool -> Format.formatter -> unit;
+}
+
+val all : experiment list
+
+val find : string -> experiment option
+
+val ids : string list

@@ -1,0 +1,10 @@
+(** Experiment E16: the "with high probability" claims under repetition.
+
+    Every paper guarantee is whp; a single run proves little.  This
+    experiment re-runs f-AME across many independent seeds per
+    configuration and reports the {e worst} observed disruption cover, the
+    divergence (whp-failure) count, and an audit of every recorded
+    transcript against the model rules — turning "whp" into a measured
+    failure rate at the default repetition constants. *)
+
+val e16 : quick:bool -> Format.formatter -> unit

@@ -1,0 +1,46 @@
+let e17 ~quick fmt =
+  Format.fprintf fmt
+    "@.== E17 / Section 8 open question 2: secrets against a t-channel eavesdropper ==@.";
+  Format.fprintf fmt
+    "breach = eavesdropper overheard EVERY agreed value; expectation ~ (t/C)^agreed@.@.";
+  let trials = if quick then 5 else 40 in
+  let configs =
+    if quick then [ (4, 1, 60) ] else [ (3, 1, 60); (4, 1, 60); (4, 2, 60); (6, 2, 90) ]
+  in
+  let rows =
+    List.map
+      (fun (channels, eaves, rounds) ->
+        let agreed_total = ref 0 and overheard_total = ref 0 and breaches = ref 0 in
+        let mismatches = ref 0 in
+        for trial = 1 to trials do
+          let cfg =
+            Radio.Config.make ~n:6 ~channels ~t:(min eaves (channels - 1))
+              ~seed:(Int64.of_int ((trial * 101) + channels)) ()
+          in
+          let o =
+            Ame.Secret_bits.run ~rounds ~cfg ~sender:0 ~receiver:1
+              ~eavesdrop_channels:eaves ()
+          in
+          agreed_total := !agreed_total + o.Ame.Secret_bits.agreed;
+          overheard_total := !overheard_total + o.Ame.Secret_bits.overheard;
+          if o.Ame.Secret_bits.breached then incr breaches;
+          if o.Ame.Secret_bits.sender_key <> o.Ame.Secret_bits.receiver_key then
+            incr mismatches
+        done;
+        let frac =
+          if !agreed_total = 0 then 0.0
+          else float_of_int !overheard_total /. float_of_int !agreed_total
+        in
+        [ string_of_int channels; string_of_int eaves; string_of_int rounds;
+          Printf.sprintf "%.1f" (float_of_int !agreed_total /. float_of_int trials);
+          Printf.sprintf "%.2f" frac;
+          Printf.sprintf "%.2f" (float_of_int eaves /. float_of_int channels);
+          Printf.sprintf "%d/%d" !breaches trials;
+          string_of_int !mismatches ])
+      configs
+  in
+  Common.fmt_table fmt
+    ~header:
+      [ "C"; "eavesdrop ch"; "rounds"; "avg agreed"; "overheard frac"; "t/C"; "breaches";
+        "key mismatches" ]
+    rows

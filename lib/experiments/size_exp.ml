@@ -1,0 +1,45 @@
+let e11 ~quick fmt =
+  Format.fprintf fmt "@.== E11 / Section 5.6: honest frame size, basic vs optimized ==@.@.";
+  let t = 1 in
+  let channels = 2 in
+  let fan_outs = if quick then [ 4 ] else [ 2; 4; 8; 12 ] in
+  let rows =
+    List.concat_map
+      (fun k ->
+        let sources = [ 0; 1; 2; 3 ] in
+        let dests = List.init k (fun i -> 10 + i) in
+        let pairs = List.concat_map (fun v -> List.map (fun w -> (v, w)) dests) sources in
+        let n = max 24 (12 + k) in
+        let cfg = Radio.Config.make ~seed:(Int64.of_int (k * 3)) ~n ~channels ~t () in
+        let messages (v, w) = Printf.sprintf "payload-%02d-%02d-%s" v w (String.make 12 'p') in
+        let fame_adversary = Common.schedule_jam ~channels ~budget:t in
+        let basic = Ame.Fame.run ~cfg ~pairs ~messages ~adversary:fame_adversary () in
+        let compact =
+          Ame.Compact.run ~cfg ~pairs ~messages
+            ~gossip_adversary:(fun cal ->
+              Ame.Compact.chain_spoofer (Prng.Rng.create (Int64.of_int (k * 7))) cal
+                ~channels ~budget:t)
+            ~fame_adversary ()
+        in
+        let basic_rounds = basic.Ame.Fame.engine.Radio.Engine.rounds_used in
+        let compact_rounds =
+          compact.Ame.Compact.gossip_engine.Radio.Engine.rounds_used
+          + compact.Ame.Compact.fame.Ame.Fame.engine.Radio.Engine.rounds_used
+        in
+        [ [ "basic"; string_of_int k; string_of_int (List.length pairs);
+            string_of_int
+              basic.Ame.Fame.engine.Radio.Engine.stats.Radio.Transcript.Stats.max_payload;
+            string_of_int (List.length basic.Ame.Fame.delivered);
+            string_of_int basic_rounds; "-" ];
+          [ "optimized"; string_of_int k; string_of_int (List.length pairs);
+            string_of_int compact.Ame.Compact.max_honest_payload;
+            string_of_int (List.length compact.Ame.Compact.delivered);
+            string_of_int compact_rounds;
+            string_of_int compact.Ame.Compact.reconstruction_failures ] ])
+      fan_outs
+  in
+  Common.fmt_table fmt
+    ~header:
+      [ "protocol"; "fan-out k"; "|E|"; "max honest frame (B)"; "delivered"; "rounds";
+        "recon failures" ]
+    rows

@@ -1,0 +1,8 @@
+(** Experiment E11: the Section 5.6 message-size optimization.
+
+    Basic f-AME frames carry whole vectors — Theta(k) payloads for a node
+    with k destinations — while the optimized protocol's largest honest
+    frame holds one payload plus two hashes, independent of k, even under a
+    spoof flood aimed at the reconstruction machinery. *)
+
+val e11 : quick:bool -> Format.formatter -> unit

@@ -1,0 +1,9 @@
+(** Experiment E7: the Theorem 2 impossibility, measured.
+
+    Against a purely randomized exchange, the simulating adversary makes
+    destinations accept the fake payload about as often as the genuine one
+    (the two executions are statistically indistinguishable).  Against
+    f-AME, where every receive channel is occupied by a deterministically
+    scheduled honest broadcaster, zero spoofed frames are ever accepted. *)
+
+val e7 : quick:bool -> Format.formatter -> unit

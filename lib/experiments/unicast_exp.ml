@@ -1,0 +1,49 @@
+let e14 ~quick fmt =
+  Format.fprintf fmt
+    "@.== E14 / Section 8 open question 4: concurrent pairwise channels ==@.";
+  Format.fprintf fmt
+    "delivery rate vs concurrent pairs; self-collisions + jamming degrade narrow C first@.@.";
+  let t = 1 in
+  let msgs_per_stream = 4 in
+  let configs =
+    if quick then [ (2, 2) ]
+    else [ (2, 1); (2, 2); (2, 4); (4, 1); (4, 2); (4, 4); (4, 6); (8, 4); (8, 6) ]
+  in
+  let rows =
+    List.map
+      (fun (channels, pair_count) ->
+        let n = max 16 (2 * pair_count + 2) in
+        let cfg =
+          Radio.Config.make ~n ~channels ~t
+            ~seed:(Int64.of_int ((channels * 100) + pair_count)) ()
+        in
+        let keys (v, w) =
+          Crypto.Sha256.digest (Printf.sprintf "pair-%d-%d" (min v w) (max v w))
+        in
+        let streams =
+          List.init pair_count (fun i ->
+              { Secure_channel.Unicast.sender = 2 * i;
+                receiver = (2 * i) + 1;
+                payloads = List.init msgs_per_stream (Printf.sprintf "s%d-%d" i) })
+        in
+        let o =
+          Secure_channel.Unicast.run_streams ~cfg ~keys ~streams
+            ~adversary:
+              (Common.random_jam ~seed:(Int64.of_int (channels + pair_count)) ~channels
+                 ~budget:t)
+            ()
+        in
+        let rate =
+          100.0 *. float_of_int o.Secure_channel.Unicast.delivered_total
+          /. float_of_int (max 1 o.Secure_channel.Unicast.offered_total)
+        in
+        [ string_of_int channels; string_of_int pair_count;
+          string_of_int o.Secure_channel.Unicast.offered_total;
+          string_of_int o.Secure_channel.Unicast.delivered_total;
+          Printf.sprintf "%.0f%%" rate;
+          string_of_int o.Secure_channel.Unicast.engine.Radio.Engine.rounds_used ])
+      configs
+  in
+  Common.fmt_table fmt
+    ~header:[ "C"; "pairs"; "offered"; "delivered"; "rate"; "rounds" ]
+    rows

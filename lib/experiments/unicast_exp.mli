@@ -1,0 +1,10 @@
+(** Experiment E14: concurrent point-to-point channels (Section 8, open
+    question 4).
+
+    Multiple pairs holding pairwise keys run private hopping channels
+    simultaneously.  Throughput scales with the number of pairs until
+    self-collisions (two pairs hopping onto the same channel) and the
+    jammer's t channels eat the gains — the crossover moves right as C
+    grows. *)
+
+val e14 : quick:bool -> Format.formatter -> unit

@@ -1,0 +1,34 @@
+module Int_set = Set.Make (Int)
+
+let p1 (st : State.t) =
+  List.filter (fun v -> not (State.is_starred st v)) (Rgraph.Digraph.sources st.graph)
+
+let p2 (st : State.t) =
+  let p1_set = Int_set.of_list (p1 st) in
+  List.filter
+    (fun (v, w) -> (not (Int_set.mem v p1_set)) && not (Int_set.mem w p1_set))
+    (Rgraph.Digraph.edges st.graph)
+
+let proposal (st : State.t) =
+  let max_size = st.max_proposal in
+  let nodes = p1 st in
+  let node_items = List.filteri (fun i _ -> i < max_size) nodes in
+  let missing = max_size - List.length node_items in
+  let items =
+    if missing = 0 then List.map (fun v -> State.Node v) node_items
+    else begin
+      (* Destination-disjoint edges from P2, in sorted order.  P2 edges touch
+         no P1 node and their sources are starred, so the combined proposal
+         satisfies Restrictions 2-4 by construction. *)
+      let edges, _ =
+        List.fold_left
+          (fun (acc, used_dests) ((_, w) as e) ->
+            if List.length acc >= missing || Int_set.mem w used_dests then (acc, used_dests)
+            else (e :: acc, Int_set.add w used_dests))
+          ([], Int_set.empty) (p2 st)
+      in
+      List.map (fun v -> State.Node v) node_items
+      @ List.map (fun e -> State.Edge e) (List.rev edges)
+    end
+  in
+  if List.length items < st.min_proposal then None else Some items

@@ -1,0 +1,25 @@
+(** The greedy-removal strategy (Section 5.2).
+
+    With respect to the current game graph G = (V, E) and starred set S:
+    - P1 = sources of E not yet starred;
+    - P2 = edges of E touching no node of P1 (their sources are starred).
+
+    The strategy proposes [proposal_size] items from P1 then
+    destination-disjoint edges of P2, in sorted order, which provably
+    satisfies Restrictions 1-4.  When no full proposal exists the game is
+    already won: the remaining graph has a vertex cover of size <= t
+    (Lemma 3), which {!proposal} reflects by returning [None].
+
+    Construction is deterministic, so every node of a distributed simulation
+    computes the identical proposal from identical state (Invariant 1 of
+    Theorem 6). *)
+
+val p1 : State.t -> int list
+(** Unstarred sources, sorted. *)
+
+val p2 : State.t -> (int * int) list
+(** Edges with neither endpoint in P1, sorted. *)
+
+val proposal : State.t -> State.item list option
+(** [Some items] (a legal proposal of full size), or [None] when the greedy
+    strategy has terminated. *)

@@ -1,0 +1,21 @@
+(** Drives a full play of the starred-edge removal game: greedy player
+    against a pluggable referee, validating every proposal and response
+    against the rules.  Produces the move count and final state that
+    experiment E4 measures against Theorem 4's O(|E|) bound. *)
+
+type outcome = {
+  moves : int;
+  stars : int;  (** nodes added to S over the play *)
+  edges_removed : int;
+  final : State.t;
+  won : bool;  (** vertex cover of the final graph <= t *)
+}
+
+exception Rule_violation of string
+(** Raised if the player produces an illegal proposal or the referee an
+    illegal response: either is a bug, not a game outcome. *)
+
+val play : ?max_moves:int -> State.t -> Referee.t -> outcome
+(** Greedy player vs [referee], until the greedy strategy terminates.
+    [max_moves] (default 10 * |E| + 10 * |V| + 10) guards against
+    non-termination bugs. *)

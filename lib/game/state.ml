@@ -1,0 +1,91 @@
+module Int_set = Set.Make (Int)
+
+type item = Node of int | Edge of (int * int)
+
+type t = {
+  graph : Rgraph.Digraph.t;
+  starred : int list;
+  budget : int;
+  min_proposal : int;
+  max_proposal : int;
+  universe : Int_set.t;  (* V: the node set fixed at game creation *)
+}
+
+let create ?proposal_size ?min_proposal graph ~t =
+  let max_proposal = Option.value proposal_size ~default:(t + 1) in
+  let min_proposal = Option.value min_proposal ~default:(min (t + 1) max_proposal) in
+  if min_proposal < 1 || max_proposal < min_proposal then
+    invalid_arg "State.create: need 1 <= min_proposal <= max_proposal";
+  { graph; starred = []; budget = t; min_proposal; max_proposal;
+    universe = Int_set.of_list (Rgraph.Digraph.vertices graph) }
+
+let is_starred t v = List.mem v t.starred
+
+let item_compare a b =
+  match (a, b) with
+  | Node x, Node y -> compare x y
+  | Node _, Edge _ -> -1
+  | Edge _, Node _ -> 1
+  | Edge e1, Edge e2 -> compare e1 e2
+
+let pp_item fmt = function
+  | Node v -> Format.fprintf fmt "node %d" v
+  | Edge (v, w) -> Format.fprintf fmt "edge (%d,%d)" v w
+
+let check_proposal t items =
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let len = List.length items in
+  if len < t.min_proposal || len > t.max_proposal then
+    fail "restriction 1: proposal has %d items, want %d..%d" len t.min_proposal t.max_proposal
+  else begin
+    let nodes = List.filter_map (function Node v -> Some v | Edge _ -> None) items in
+    let edges = List.filter_map (function Edge e -> Some e | Node _ -> None) items in
+    let bad_node = List.find_opt (fun v -> not (Int_set.mem v t.universe)) nodes in
+    let bad_edge = List.find_opt (fun e -> not (Rgraph.Digraph.mem_edge t.graph e)) edges in
+    match (bad_node, bad_edge) with
+    | Some v, _ -> fail "restriction 1: node %d not in V" v
+    | _, Some (v, w) -> fail "restriction 1: edge (%d,%d) not in E" v w
+    | None, None ->
+      let sorted_nodes = List.sort compare nodes in
+      let rec has_dup = function
+        | a :: (b :: _ as rest) -> a = b || has_dup rest
+        | _ -> false
+      in
+      if has_dup sorted_nodes then fail "restriction 2: duplicate node"
+      else if
+        List.exists
+          (fun v -> List.exists (fun (s, d) -> s = v || d = v) edges)
+          nodes
+      then fail "restriction 2: a proposed node appears in a proposed edge"
+      else begin
+        let dests = List.sort compare (List.map snd edges) in
+        if has_dup dests then fail "restriction 3: two edges share a destination"
+        else begin
+          let shared_unstarred_source =
+            let sources = List.sort compare (List.map fst edges) in
+            let rec find = function
+              | a :: (b :: _ as rest) ->
+                if a = b && not (is_starred t a) then Some a else find rest
+              | _ -> None
+            in
+            find sources
+          in
+          match shared_unstarred_source with
+          | Some v -> fail "restriction 4: edges share unstarred source %d" v
+          | None -> Ok ()
+        end
+      end
+  end
+
+let apply t chosen =
+  if chosen = [] then invalid_arg "State.apply: referee response must be non-empty";
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Node v ->
+        if List.mem v acc.starred then acc
+        else { acc with starred = List.sort compare (v :: acc.starred) }
+      | Edge e -> { acc with graph = Rgraph.Digraph.remove_edge acc.graph e })
+    t chosen
+
+let won t = Rgraph.Vertex_cover.at_most t.graph t.budget

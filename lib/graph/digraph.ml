@@ -1,0 +1,57 @@
+module Edge_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type edge = int * int
+
+type t = Edge_set.t
+
+let empty = Edge_set.empty
+
+let check (v, w) =
+  if v = w then invalid_arg "Digraph: self-loop"
+  else if v < 0 || w < 0 then invalid_arg "Digraph: negative node id"
+
+let add_edge t e =
+  check e;
+  Edge_set.add e t
+
+let of_edges es = List.fold_left add_edge empty es
+
+let remove_edge t e = Edge_set.remove e t
+
+let mem_edge t e = Edge_set.mem e t
+
+let edges t = Edge_set.elements t
+
+let edge_count t = Edge_set.cardinal t
+
+let is_empty t = Edge_set.is_empty t
+
+module Int_set = Set.Make (Int)
+
+let vertices t =
+  Int_set.elements
+    (Edge_set.fold (fun (v, w) acc -> Int_set.add v (Int_set.add w acc)) t Int_set.empty)
+
+let sources t =
+  Int_set.elements (Edge_set.fold (fun (v, _) acc -> Int_set.add v acc) t Int_set.empty)
+
+let out_edges t v = Edge_set.elements (Edge_set.filter (fun (x, _) -> x = v) t)
+
+let in_edges t w = Edge_set.elements (Edge_set.filter (fun (_, y) -> y = w) t)
+
+let out_degree t v = List.length (out_edges t v)
+
+let has_outgoing t v = Edge_set.exists (fun (x, _) -> x = v) t
+
+let equal = Edge_set.equal
+
+let pp fmt t =
+  Format.fprintf fmt "{";
+  List.iteri
+    (fun i (v, w) -> Format.fprintf fmt "%s(%d,%d)" (if i = 0 then "" else "; ") v w)
+    (edges t);
+  Format.fprintf fmt "}"

@@ -1,0 +1,47 @@
+(** Immutable directed graphs over integer node ids.
+
+    This is the shared representation for the AME exchange set E, the
+    starred-edge-removal game graph, and the disruption graph.  Nodes are
+    identified by small non-negative integers (process indices). *)
+
+type t
+
+type edge = int * int
+(** Ordered pair (source, destination). *)
+
+val empty : t
+
+val of_edges : edge list -> t
+(** Duplicate edges are collapsed; self-loops are rejected with
+    [Invalid_argument]. *)
+
+val add_edge : t -> edge -> t
+
+val remove_edge : t -> edge -> t
+
+val mem_edge : t -> edge -> bool
+
+val edges : t -> edge list
+(** Sorted lexicographically: deterministic iteration order everywhere. *)
+
+val edge_count : t -> int
+
+val is_empty : t -> bool
+
+val vertices : t -> int list
+(** Sorted list of nodes that appear as an endpoint of some edge. *)
+
+val sources : t -> int list
+(** Sorted list of nodes with at least one outgoing edge. *)
+
+val out_edges : t -> int -> edge list
+
+val in_edges : t -> int -> edge list
+
+val out_degree : t -> int -> int
+
+val has_outgoing : t -> int -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+let leaders ~t = List.init (t + 1) Fun.id
+
+let pairs ~n ~t =
+  if n < t + 2 then invalid_arg "Spanner.pairs: need n >= t + 2";
+  let is_leader v = v <= t in
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    for w = n - 1 downto 0 do
+      if v <> w && (is_leader v || is_leader w) then acc := (v, w) :: !acc
+    done
+  done;
+  !acc
+
+let graph ~n ~t = Digraph.of_edges (pairs ~n ~t)
+
+let survives_removal ~n ~t ~removed =
+  let module S = Set.Make (Int) in
+  let gone = S.of_list removed in
+  let alive v = v >= 0 && v < n && not (S.mem v gone) in
+  let adjacency = Hashtbl.create 64 in
+  List.iter
+    (fun (v, w) ->
+      if alive v && alive w then begin
+        Hashtbl.replace adjacency v (w :: (try Hashtbl.find adjacency v with Not_found -> []));
+        Hashtbl.replace adjacency w (v :: (try Hashtbl.find adjacency w with Not_found -> []))
+      end)
+    (pairs ~n ~t);
+  let survivors = List.filter alive (List.init n Fun.id) in
+  match survivors with
+  | [] -> true
+  | start :: _ ->
+    let visited = Hashtbl.create 64 in
+    let rec bfs = function
+      | [] -> ()
+      | v :: rest ->
+        if Hashtbl.mem visited v then bfs rest
+        else begin
+          Hashtbl.add visited v ();
+          bfs ((try Hashtbl.find adjacency v with Not_found -> []) @ rest)
+        end
+    in
+    bfs [ start ];
+    List.for_all (Hashtbl.mem visited) survivors

@@ -1,0 +1,45 @@
+let is_cover g cover =
+  let module S = Set.Make (Int) in
+  let s = S.of_list cover in
+  List.for_all (fun (v, w) -> S.mem v s || S.mem w s) (Digraph.edges g)
+
+let remove_incident g v =
+  List.fold_left
+    (fun acc ((x, y) as e) -> if x = v || y = v then Digraph.remove_edge acc e else acc)
+    g (Digraph.edges g)
+
+(* Bounded search: a cover of size <= k containing the accumulator, or None.
+   Branch on an endpoint of a maximum-degree edge; the standard 2-way
+   branching gives O(2^k) nodes, plenty fast for the covers (<= 2t) that the
+   experiments decide. *)
+let rec search g k acc =
+  match Digraph.edges g with
+  | [] -> Some acc
+  | (v, w) :: _ ->
+    if k = 0 then None
+    else begin
+      match search (remove_incident g v) (k - 1) (v :: acc) with
+      | Some cover -> Some cover
+      | None -> search (remove_incident g w) (k - 1) (w :: acc)
+    end
+
+let at_most g k = Option.is_some (search g k [])
+
+let minimum g =
+  let rec try_size k =
+    match search g k [] with
+    | Some cover -> List.sort_uniq compare cover
+    | None -> try_size (k + 1)
+  in
+  try_size 0
+
+let minimum_size g = List.length (minimum g)
+
+let greedy_2approx g =
+  let module S = Set.Make (Int) in
+  let rec go g acc =
+    match Digraph.edges g with
+    | [] -> S.elements acc
+    | (v, w) :: _ -> go (remove_incident (remove_incident g v) w) (S.add v (S.add w acc))
+  in
+  go g S.empty

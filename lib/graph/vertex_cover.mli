@@ -1,0 +1,25 @@
+(** Vertex covers of (the undirected view of) a directed graph.
+
+    Disruptability (Definition 1, property 3) is stated as a bound on the
+    minimum vertex cover of the disruption graph, so the experiments need an
+    exact solver: {!minimum} is a branch-and-bound search, exponential in the
+    worst case but fast at the disruption-graph sizes we measure (covers of
+    size <= 2t).  {!greedy_2approx} (maximal matching) is provided for larger
+    graphs and as a cross-check upper bound. *)
+
+val is_cover : Digraph.t -> int list -> bool
+(** Does the node set touch every edge? *)
+
+val minimum : Digraph.t -> int list
+(** An exact minimum vertex cover (sorted).  Exponential-time in general;
+    intended for graphs whose cover is small. *)
+
+val minimum_size : Digraph.t -> int
+
+val greedy_2approx : Digraph.t -> int list
+(** Cover from a maximal matching: at most twice the optimum. *)
+
+val at_most : Digraph.t -> int -> bool
+(** [at_most g k]: is there a vertex cover of size <= k?  Decides directly
+    with the bounded search (cheaper than computing {!minimum} when the
+    answer is no). *)

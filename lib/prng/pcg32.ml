@@ -1,0 +1,40 @@
+type t = { mutable state : int64; inc : int64 }
+
+let multiplier = 6364136223846793005L
+
+let step t = t.state <- Int64.(add (mul t.state multiplier) t.inc)
+
+let create ?(stream = 54L) seed =
+  let inc = Int64.(logor (shift_left stream 1) 1L) in
+  let t = { state = 0L; inc } in
+  step t;
+  t.state <- Int64.add t.state seed;
+  step t;
+  t
+
+let copy t = { state = t.state; inc = t.inc }
+
+let output state =
+  let xorshifted =
+    Int64.(to_int32 (shift_right_logical (logxor (shift_right_logical state 18) state) 27))
+  in
+  let rot = Int64.(to_int (shift_right_logical state 59)) in
+  if rot = 0 then xorshifted
+  else Int32.(logor (shift_right_logical xorshifted rot) (shift_left xorshifted (32 - rot)))
+
+let next t =
+  let old = t.state in
+  step t;
+  output old
+
+let next_in t bound =
+  assert (bound > 0);
+  let bound64 = Int64.of_int bound in
+  (* Rejection sampling: accept v < 2^32 - (2^32 mod bound) so that the
+     modulo is exactly uniform. *)
+  let limit = Int64.sub 4294967296L (Int64.rem 4294967296L bound64) in
+  let rec draw () =
+    let v = Int64.logand (Int64.of_int32 (next t)) 0xFFFFFFFFL in
+    if v < limit then Int64.to_int (Int64.rem v bound64) else draw ()
+  in
+  draw ()

@@ -1,0 +1,20 @@
+(** PCG32 (XSH-RR 64/32): O'Neill's permuted congruential generator.
+
+    Small state, excellent statistical quality, 32-bit output.  Provided as an
+    alternative engine and as an independent implementation for cross-checking
+    distributional tests of the other generators. *)
+
+type t
+
+val create : ?stream:int64 -> int64 -> t
+(** [create ?stream seed] initialises the generator.  Distinct [stream] values
+    select provably non-overlapping sequences for the same seed. *)
+
+val copy : t -> t
+
+val next : t -> int32
+(** Next 32-bit output. *)
+
+val next_in : t -> int -> int
+(** [next_in g bound] is uniform in [\[0, bound)] by unbiased rejection.
+    Requires [0 < bound <= 2^31]. *)

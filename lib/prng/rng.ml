@@ -1,0 +1,61 @@
+type t = { engine : Xoshiro.t; base : int64 }
+
+let create seed = { engine = Xoshiro.create seed; base = seed }
+
+let bits64 t = Xoshiro.next t.engine
+
+let split t =
+  let seed = Splitmix64.mix (bits64 t) in
+  { engine = Xoshiro.create seed; base = seed }
+
+let split_at t label =
+  let seed = Splitmix64.mix (Int64.logxor t.base (Splitmix64.mix (Int64.of_int label))) in
+  { engine = Xoshiro.create seed; base = seed }
+
+let copy t = { engine = Xoshiro.copy t.engine; base = t.base }
+
+let int t bound =
+  assert (bound > 0);
+  let bound64 = Int64.of_int bound in
+  (* Rejection over the top 63 bits keeps the draw exactly uniform. *)
+  let range = Int64.max_int in
+  let limit = Int64.sub range (Int64.rem range bound64) in
+  let rec draw () =
+    let v = Int64.shift_right_logical (bits64 t) 1 in
+    if v < limit then Int64.to_int (Int64.rem v bound64) else draw ()
+  in
+  draw ()
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let float t =
+  (* 53 uniform bits mapped to [0,1). *)
+  let v = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float v /. 9007199254740992.0
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let pick_list t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t k xs =
+  let arr = Array.of_list xs in
+  assert (k <= Array.length arr);
+  shuffle t arr;
+  Array.to_list (Array.sub arr 0 k)

@@ -1,0 +1,18 @@
+(** Xoshiro256**: the all-purpose 64-bit generator of Blackman & Vigna.
+
+    State is 256 bits, period 2^256 - 1.  Seeded from a single 64-bit value
+    via {!Splitmix64}, as the authors recommend. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] derives the 256-bit state from [seed] with SplitMix64. *)
+
+val copy : t -> t
+
+val next : t -> int64
+(** Next 64-bit output. *)
+
+val jump : t -> unit
+(** Advance the state by 2^128 steps; used to create non-overlapping
+    subsequences from a common seed. *)

@@ -1,0 +1,109 @@
+type strike = { chan : int; spoof : Frame.t option }
+
+type t = {
+  name : string;
+  act : round:int -> strike list;
+  observe : Transcript.round_record -> unit;
+}
+
+let validate ~channels ~budget strikes =
+  if List.length strikes > budget then
+    invalid_arg (Printf.sprintf "Adversary: %d strikes exceed budget %d" (List.length strikes) budget);
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun { chan; _ } ->
+      if chan < 0 || chan >= channels then invalid_arg "Adversary: strike on invalid channel";
+      if Hashtbl.mem seen chan then invalid_arg "Adversary: duplicate strike channel";
+      Hashtbl.add seen chan ())
+    strikes;
+  strikes
+
+let no_observe (_ : Transcript.round_record) = ()
+
+let null = { name = "null"; act = (fun ~round:_ -> []); observe = no_observe }
+
+let distinct_random_channels rng ~channels ~count =
+  let arr = Array.init channels Fun.id in
+  Prng.Rng.shuffle rng arr;
+  Array.to_list (Array.sub arr 0 (min count channels))
+
+let random_jammer rng ~channels ~budget =
+  { name = "random-jammer";
+    act =
+      (fun ~round:_ ->
+        List.map (fun chan -> { chan; spoof = None })
+          (distinct_random_channels rng ~channels ~count:budget));
+    observe = no_observe }
+
+let sweep_jammer ~channels ~budget =
+  { name = "sweep-jammer";
+    act =
+      (fun ~round ->
+        List.init budget (fun i -> { chan = (round + i) mod channels; spoof = None }));
+    observe = no_observe }
+
+let targeted_jammer ~channels ~channels_of_round ~budget =
+  { name = "targeted-jammer";
+    act =
+      (fun ~round ->
+        let module S = Set.Make (Int) in
+        let named = S.elements (S.of_list (channels_of_round round)) in
+        let primary = List.filteri (fun i _ -> i < budget) named in
+        let rec pad acc next =
+          if List.length acc >= budget || next >= channels then List.rev acc
+          else if List.exists (fun s -> s.chan = next) acc then pad acc (next + 1)
+          else pad ({ chan = next; spoof = None } :: acc) (next + 1)
+        in
+        pad (List.rev_map (fun chan -> { chan; spoof = None }) primary) 0);
+    observe = no_observe }
+
+let spoofer rng ~channels ~budget ~forge =
+  { name = "spoofer";
+    act =
+      (fun ~round ->
+        List.map (fun chan -> { chan; spoof = Some (forge ~round chan) })
+          (distinct_random_channels rng ~channels ~count:budget));
+    observe = no_observe }
+
+let reactive_jammer rng ~channels ~budget =
+  let last_traffic = Array.make channels 0 in
+  { name = "reactive-jammer";
+    act =
+      (fun ~round:_ ->
+        (* Rank channels by last round's honest traffic; random tiebreak. *)
+        let keyed =
+          Array.to_list
+            (Array.mapi (fun chan hits -> (hits, Prng.Rng.int rng 1_000_000, chan)) last_traffic)
+        in
+        let ranked = List.sort (fun a b -> compare b a) keyed in
+        List.filteri (fun i _ -> i < budget) ranked
+        |> List.map (fun (_, _, chan) -> { chan; spoof = None }));
+    observe =
+      (fun record ->
+        Array.fill last_traffic 0 channels 0;
+        List.iter
+          (fun (_, chan, _) -> last_traffic.(chan) <- last_traffic.(chan) + 1)
+          record.Transcript.honest_tx) }
+
+let energy_bounded ~total inner =
+  let remaining = ref total in
+  { name = Printf.sprintf "%s[energy<=%d]" inner.name total;
+    act =
+      (fun ~round ->
+        if !remaining <= 0 then []
+        else begin
+          let strikes = List.filteri (fun i _ -> i < !remaining) (inner.act ~round) in
+          remaining := !remaining - List.length strikes;
+          strikes
+        end);
+    observe = inner.observe }
+
+let combine ~name subs ~budget ~channels =
+  ignore budget;
+  ignore channels;
+  let count = List.length subs in
+  if count = 0 then invalid_arg "Adversary.combine: empty list";
+  let arr = Array.of_list subs in
+  { name;
+    act = (fun ~round -> arr.(round mod count).act ~round);
+    observe = (fun record -> Array.iter (fun sub -> sub.observe record) arr) }

@@ -1,0 +1,35 @@
+(** Offline transcript auditing.
+
+    Replays a recorded transcript against the Section 3 model rules and
+    protocol-level security properties.  Used three ways: as a test oracle
+    (every engine run must audit clean), as a debugging aid when writing new
+    protocols, and as an independent check that experiment results were
+    produced by a model-conforming execution rather than a simulator bug. *)
+
+type violation = {
+  round : int;
+  channel : int option;
+  what : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_model :
+  channels:int -> budget:int -> Transcript.round_record list -> violation list
+(** Model conformance:
+    - at most [budget] adversary strikes per round, each on a distinct valid
+      channel;
+    - every channel's recorded outcome matches what the transmission sets
+      dictate (exactly one decodable transmitter = that delivery; zero =
+      empty; otherwise collision, flagged jammed iff the adversary
+      participated);
+    - every honest node performs at most one action per round. *)
+
+val check_no_spoofed_delivery : Transcript.round_record list -> violation list
+(** Protocol-level: no listener ever received an adversarial frame.  This
+    is f-AME's authentication in transcript form — it must hold for every
+    f-AME execution, and will generally NOT hold for the naive protocol. *)
+
+val audit :
+  channels:int -> budget:int -> Transcript.round_record list -> violation list
+(** Both checks, concatenated. *)

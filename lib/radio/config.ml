@@ -1,0 +1,29 @@
+(** Static parameters of a simulated network (Section 3 of the paper).
+
+    [n] nodes, [channels] = C communication channels, adversary budget [t]
+    channels per round (t < C).  [seed] makes the whole run deterministic.
+    [max_rounds] bounds runaway protocols; [record_transcript] retains the
+    full per-round history for tests and debugging (costs memory). *)
+
+type t = {
+  n : int;
+  channels : int;
+  t : int;
+  seed : int64;
+  max_rounds : int;
+  record_transcript : bool;
+}
+
+let make ?(seed = 1L) ?(max_rounds = 2_000_000) ?(record_transcript = false) ~n ~channels ~t () =
+  if channels < 2 then invalid_arg "Config.make: need at least 2 channels";
+  if t < 0 || t >= channels then invalid_arg "Config.make: need 0 <= t < channels";
+  if n < 2 then invalid_arg "Config.make: need at least 2 nodes";
+  { n; channels; t; seed; max_rounds; record_transcript }
+
+(* The paper's standing assumption (Section 4): n > 3(t+1)^2 + 2(t+1),
+   required by f-AME's witness/surrogate scheduling but not by the raw
+   simulator, so it is a separate check. *)
+let ample_nodes cfg = cfg.n > (3 * (cfg.t + 1) * (cfg.t + 1)) + (2 * (cfg.t + 1))
+
+let pp fmt cfg =
+  Format.fprintf fmt "{n=%d; C=%d; t=%d; seed=%Ld}" cfg.n cfg.channels cfg.t cfg.seed

@@ -1,0 +1,158 @@
+type ctx = { id : int; rng : Prng.Rng.t; cfg : Config.t }
+
+type action = Transmit of int * Frame.t | Listen of int | Idle
+
+type obs = Received of Frame.t | Nothing
+
+type _ Effect.t += Act : action -> obs Effect.t
+type _ Effect.t += Round : int Effect.t
+
+let transmit ~chan frame =
+  match Effect.perform (Act (Transmit (chan, frame))) with
+  | Received _ | Nothing -> ()
+
+let listen ~chan =
+  match Effect.perform (Act (Listen chan)) with
+  | Received frame -> Some frame
+  | Nothing -> None
+
+let idle () =
+  match Effect.perform (Act Idle) with
+  | Received _ | Nothing -> ()
+
+let idle_for k =
+  for _ = 1 to k do
+    idle ()
+  done
+
+let current_round () = Effect.perform Round
+
+exception Aborted
+
+type fiber =
+  | Waiting of action * (obs, unit) Effect.Deep.continuation
+  | Finished
+
+type result = {
+  stats : Transcript.Stats.t;
+  transcript : Transcript.round_record list;
+  completed : bool;
+  rounds_used : int;
+}
+
+let run cfg ~adversary nodes =
+  if Array.length nodes <> cfg.Config.n then
+    invalid_arg "Engine.run: node array length must equal cfg.n";
+  let round_counter = ref 0 in
+  let fibers = Array.make cfg.Config.n Finished in
+  let start i body ctx =
+    let handler =
+      { Effect.Deep.retc = (fun () -> fibers.(i) <- Finished);
+        exnc = (fun e -> fibers.(i) <- Finished; if e <> Aborted then raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Act action ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  fibers.(i) <- Waiting (action, k))
+            | Round -> Some (fun k -> Effect.Deep.continue k !round_counter)
+            | _ -> None) }
+    in
+    Effect.Deep.match_with body ctx handler
+  in
+  Array.iteri
+    (fun i body ->
+      let ctx = { id = i; rng = Prng.Rng.split_at (Prng.Rng.create cfg.Config.seed) (i + 1); cfg } in
+      start i body ctx)
+    nodes;
+  let stats = Transcript.Stats.create () in
+  let transcript = ref [] in
+  let all_finished () =
+    Array.for_all (function Finished -> true | Waiting _ -> false) fibers
+  in
+  let validate_chan chan =
+    if chan < 0 || chan >= cfg.Config.channels then
+      invalid_arg (Printf.sprintf "Engine: action on invalid channel %d" chan)
+  in
+  while (not (all_finished ())) && !round_counter < cfg.Config.max_rounds do
+    let round = !round_counter in
+    (* 1. Harvest declared actions. *)
+    let honest_tx = ref [] and listeners = ref [] in
+    Array.iteri
+      (fun i fiber ->
+        match fiber with
+        | Finished -> ()
+        | Waiting (Transmit (chan, frame), _) ->
+          validate_chan chan;
+          honest_tx := (i, chan, frame) :: !honest_tx
+        | Waiting (Listen chan, _) ->
+          validate_chan chan;
+          listeners := (i, chan) :: !listeners
+        | Waiting (Idle, _) -> ())
+      fibers;
+    let honest_tx = List.rev !honest_tx and listeners = List.rev !listeners in
+    (* 2. Adversary commits its strikes without seeing this round's choices. *)
+    let strikes =
+      Adversary.validate ~channels:cfg.Config.channels ~budget:cfg.Config.t
+        (adversary.Adversary.act ~round)
+    in
+    (* 3. Resolve each channel. *)
+    let outcomes =
+      Array.init cfg.Config.channels (fun chan ->
+          let honest_here = List.filter (fun (_, c, _) -> c = chan) honest_tx in
+          let strike_here =
+            List.find_opt (fun s -> s.Adversary.chan = chan) strikes
+          in
+          let honest_count = List.length honest_here in
+          let adv_count = match strike_here with Some _ -> 1 | None -> 0 in
+          match (honest_here, strike_here, honest_count + adv_count) with
+          | [], None, _ -> Transcript.Empty
+          | [ (sender, _, frame) ], None, 1 ->
+            Transcript.Delivered { origin = Transcript.Honest sender; frame }
+          | [], Some { Adversary.spoof = Some frame; _ }, 1 ->
+            Transcript.Delivered { origin = Transcript.Adversarial; frame }
+          | [], Some { Adversary.spoof = None; _ }, 1 ->
+            (* A lone jam: energy but no decodable frame. *)
+            Transcript.Collision { transmitters = 1; jammed = true }
+          | _, _, total ->
+            Transcript.Collision { transmitters = total; jammed = adv_count > 0 })
+    in
+    let record =
+      { Transcript.round; honest_tx; listeners; strikes = List.map (fun s -> (s.Adversary.chan, s.Adversary.spoof)) strikes; outcomes }
+    in
+    Transcript.Stats.absorb stats record;
+    if cfg.Config.record_transcript then transcript := record :: !transcript;
+    adversary.Adversary.observe record;
+    incr round_counter;
+    (* 4. Resume fibers with their observations, in node-id order. *)
+    Array.iteri
+      (fun i fiber ->
+        match fiber with
+        | Finished -> ()
+        | Waiting (action, k) ->
+          let obs =
+            match action with
+            | Transmit _ | Idle -> Nothing
+            | Listen chan ->
+              (match outcomes.(chan) with
+               | Transcript.Delivered { frame; _ } -> Received frame
+               | Transcript.Empty | Transcript.Collision _ -> Nothing)
+          in
+          fibers.(i) <- Finished;
+          (* The continuation re-populates fibers.(i) if the node suspends
+             again; otherwise it stays Finished. *)
+          Effect.Deep.continue k obs)
+      fibers
+  done;
+  let completed = all_finished () in
+  if not completed then
+    Array.iter
+      (function
+        | Finished -> ()
+        | Waiting (_, k) -> ( try Effect.Deep.discontinue k Aborted with Aborted -> ()))
+      fibers;
+  { stats; transcript = List.rev !transcript; completed; rounds_used = !round_counter }
+
+let run_nodes cfg ~adversary body =
+  run cfg ~adversary (Array.make cfg.Config.n body)

@@ -1,0 +1,56 @@
+(** The synchronous multi-channel radio engine (Section 3 semantics).
+
+    Executions proceed in rounds.  Per round each node transmits or listens
+    on one channel (or idles); the adversary adds up to t strikes.  On each
+    channel: exactly one transmitter of a decodable frame means every
+    listener receives it; zero or several transmitters (or a jam) mean
+    listeners receive nothing.  Nodes cannot detect collisions and cannot
+    tell a spoofed frame from a real one.
+
+    Nodes are written in direct style as coroutines over OCaml effects: the
+    body calls {!transmit} / {!listen} / {!idle}, each consuming exactly one
+    round, so protocol code reads like the paper's pseudocode.  The engine
+    steps all fibers in node-id order, making every run a deterministic
+    function of the configuration seed. *)
+
+type ctx = {
+  id : int;  (** this node's index in 0..n-1 *)
+  rng : Prng.Rng.t;  (** private random stream (split from the master seed) *)
+  cfg : Config.t;
+}
+
+(** {1 Round actions} — each call suspends the fiber for one radio round. *)
+
+val transmit : chan:int -> Frame.t -> unit
+(** Broadcast a frame on [chan] this round.  The sender learns nothing about
+    success (no collision detection). *)
+
+val listen : chan:int -> Frame.t option
+(** Tune to [chan]; [Some frame] if a single transmitter was decodable,
+    [None] otherwise.  A spoofed frame is indistinguishable from a real
+    one. *)
+
+val idle : unit -> unit
+(** Participate in the round without transmitting or listening. *)
+
+val idle_for : int -> unit
+
+val current_round : unit -> int
+(** The engine's round counter.  Does not consume a round. *)
+
+(** {1 Running} *)
+
+type result = {
+  stats : Transcript.Stats.t;
+  transcript : Transcript.round_record list;  (** empty unless recording is on *)
+  completed : bool;  (** false if [max_rounds] was exhausted first *)
+  rounds_used : int;
+}
+
+val run : Config.t -> adversary:Adversary.t -> (ctx -> unit) array -> result
+(** [run cfg ~adversary nodes] starts one fiber per node (the array must
+    have length [cfg.n]) and drives rounds until every fiber returns.
+    Raises [Invalid_argument] on malformed node actions (bad channel). *)
+
+val run_nodes : Config.t -> adversary:Adversary.t -> (ctx -> unit) -> result
+(** Convenience: the same body for every node (it can branch on [ctx.id]). *)

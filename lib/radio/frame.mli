@@ -1,0 +1,42 @@
+(** Radio frames: the unit of transmission on a channel.
+
+    One shared frame format serves every protocol in the repository, the way
+    a real radio stack shares one PHY frame layout.  All identity fields
+    inside payloads are mere {e claims}: the medium does not authenticate, and
+    the adversary can fabricate any frame (spoofing).  Ground truth about who
+    actually transmitted lives only in the engine's transcript. *)
+
+type payload =
+  | Plain of { src : int; dst : int; body : string }
+      (** Unauthenticated point-to-point data: naive exchange, gossip rumors. *)
+  | Vector of { owner : int; entries : (int * string) list }
+      (** f-AME message-transmission frame: the vector of all values
+          m_owner,* (entries are (destination, body) pairs). *)
+  | Feedback_true of int
+      (** communication-feedback: witness reports channel [r] succeeded. *)
+  | Feedback_false
+      (** communication-feedback: witness occupies a channel to block spoofing. *)
+  | Feedback_set of (int * bool) list
+      (** Section 5.5 (C >= 2t^2) tree feedback: a witness's accumulated
+          knowledge of per-channel success flags, merged hypercube-style. *)
+  | Chain of { owner : int; index : int; body : string; recon_hash : string }
+      (** Section 5.6 gossip epoch: message m_owner,index plus the
+          reconstruction hash H1(m_i, ..., m_k). *)
+  | Sealed of string
+      (** Encrypted + MACed blob ({!Crypto.Cipher} wire encoding), used once
+          shared keys exist (Sections 6-7). *)
+  | Report of { reporter : int; leader : int; key_hash : string }
+      (** Group-key Part 3: reporter claims it got [leader]'s key. *)
+  | Noise
+      (** Meaningless energy: what a jammer emits.  Receivers cannot decode
+          it; the engine never delivers it as a message. *)
+
+type t = payload
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val payload_size : t -> int
+(** Approximate wire size in bytes (ids count 4 bytes each); drives the
+    message-size experiment E11. *)

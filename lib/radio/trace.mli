@@ -1,0 +1,33 @@
+(** Rendering and analysis of recorded transcripts.
+
+    When a run is configured with [record_transcript = true], the engine
+    keeps every {!Transcript.round_record}; this module turns them into
+    human-readable logs, CSV for external analysis, and per-channel
+    utilization summaries — the debugging surface for protocol work on top
+    of the simulator. *)
+
+val pp_round : Format.formatter -> Transcript.round_record -> unit
+(** One round as a compact multi-line block: per-channel outcome, honest
+    transmitters, strikes, listeners. *)
+
+val pp_rounds :
+  ?limit:int -> Format.formatter -> Transcript.round_record list -> unit
+(** Render the first [limit] (default 50) rounds. *)
+
+val to_csv : Transcript.round_record list -> string
+(** One row per (round, channel): round, channel, outcome kind, origin,
+    honest transmitter count, listener count, frame summary.  Header
+    included. *)
+
+type channel_usage = {
+  channel : int;
+  deliveries : int;  (** rounds this channel carried a decodable frame *)
+  collisions : int;
+  jammed : int;  (** collisions the adversary participated in *)
+  idle : int;
+  spoofed : int;  (** deliveries that originated from the adversary *)
+}
+
+val utilization : channels:int -> Transcript.round_record list -> channel_usage list
+
+val pp_utilization : Format.formatter -> channel_usage list -> unit

@@ -1,0 +1,48 @@
+(** Ground-truth record of what happened on the air.
+
+    The engine produces one {!round_record} per round.  Adversary strategies
+    receive each record after the round completes (the paper grants the
+    adversary full knowledge of all completed rounds, including random
+    choices); tests use records to verify authenticity and disruption
+    claims; {!Stats} aggregates them cheaply when full recording is off. *)
+
+type origin = Honest of int | Adversarial
+
+type outcome =
+  | Empty  (** nobody transmitted *)
+  | Delivered of { origin : origin; frame : Frame.t }  (** exactly one transmitter *)
+  | Collision of { transmitters : int; jammed : bool }
+      (** >= 2 transmitters, or a successful jam; [jammed] is true when the
+          adversary participated *)
+
+type round_record = {
+  round : int;
+  honest_tx : (int * int * Frame.t) list;  (** (node, channel, frame) *)
+  listeners : (int * int) list;  (** (node, channel) *)
+  strikes : (int * Frame.t option) list;  (** adversary: (channel, spoof or jam) *)
+  outcomes : outcome array;  (** indexed by channel *)
+}
+
+val spoof_delivered : round_record -> bool
+(** Did some listener receive an adversarial frame this round? *)
+
+val channel_outcome : round_record -> int -> outcome
+
+module Stats : sig
+  type t = {
+    mutable rounds : int;
+    mutable honest_transmissions : int;
+    mutable deliveries : int;
+    mutable spoofed_deliveries : int;
+    mutable collisions : int;
+    mutable jammed_rounds : int;
+    mutable strikes : int;
+    mutable max_payload : int;
+  }
+
+  val create : unit -> t
+
+  val absorb : t -> round_record -> unit
+
+  val pp : Format.formatter -> t -> unit
+end

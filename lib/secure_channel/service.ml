@@ -1,0 +1,164 @@
+type spec = {
+  key : string;
+  channels : int;
+  budget : int;
+  reps : int;
+}
+
+let log2 x = log x /. log 2.0
+
+let make_spec ?(beta = 4.0) ~key ~cfg () =
+  let t = cfg.Radio.Config.t in
+  let n = cfg.Radio.Config.n in
+  let reps =
+    max 1 (int_of_float (ceil (beta *. float_of_int (t + 1) *. log2 (float_of_int (max n 4)))))
+  in
+  { key; channels = cfg.Radio.Config.channels; budget = t; reps }
+
+let hop spec ~round = Crypto.Prf.channel_hop ~key:spec.key ~round ~channels:spec.channels
+
+let encode_payload ~sender ~seq msg =
+  let field n =
+    String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xFF))
+  in
+  field sender ^ field seq ^ msg
+
+let decode_payload payload =
+  if String.length payload < 8 then None
+  else begin
+    let field pos =
+      let v = ref 0 in
+      for i = 0 to 3 do
+        v := (!v lsl 8) lor Char.code payload.[pos + i]
+      done;
+      !v
+    in
+    Some (field 0, field 4, String.sub payload 8 (String.length payload - 8))
+  end
+
+let broadcast spec ~sender ~seq msg =
+  for _ = 1 to spec.reps do
+    let round = Radio.Engine.current_round () in
+    let chan = hop spec ~round in
+    let payload = encode_payload ~sender ~seq msg in
+    let sealed = Crypto.Cipher.seal ~key:spec.key ~nonce:(Int64.of_int round) payload in
+    Radio.Engine.transmit ~chan (Radio.Frame.Sealed (Crypto.Cipher.encode sealed))
+  done
+
+let recv spec rng =
+  let got = ref None in
+  for _ = 1 to spec.reps do
+    let round = Radio.Engine.current_round () in
+    let chan = hop spec ~round in
+    ignore rng;
+    match Radio.Engine.listen ~chan with
+    | Some (Radio.Frame.Sealed blob) when !got = None ->
+      (match Crypto.Cipher.decode blob with
+       | Some sealed ->
+         (match Crypto.Cipher.open_ ~key:spec.key sealed with
+          | Some payload -> got := decode_payload payload
+          | None -> ())
+       | None -> ())
+    | Some _ | None -> ()
+  done;
+  !got
+
+let idle spec =
+  for _ = 1 to spec.reps do
+    Radio.Engine.idle ()
+  done
+
+type delivery = {
+  emulated_round : int;
+  sender : int;
+  message : string;
+  received_by : int list;
+}
+
+type outcome = {
+  engine : Radio.Engine.result;
+  deliveries : delivery list;
+  emulated_rounds : int;
+  real_rounds_per_emulated : int;
+  plaintext_leaks : int;
+  forged_accepts : int;
+}
+
+let run_workload ~cfg ~key_holders ~spec ~sends ~adversary () =
+  let n = cfg.Radio.Config.n in
+  let emulated_rounds =
+    1 + List.fold_left (fun acc (er, _, _) -> max acc er) 0 sends
+  in
+  List.iter
+    (fun (_, sender, _) ->
+      if not (List.mem sender key_holders) then
+        invalid_arg "Service.run_workload: sender lacks the group key")
+    sends;
+  (* receptions.(node) collects (emulated_round, sender, seq, msg). *)
+  let receptions = Array.make n [] in
+  let node_body (ctx : Radio.Engine.ctx) =
+    let id = ctx.id in
+    let holds_key = List.mem id key_holders in
+    for er = 0 to emulated_rounds - 1 do
+      match List.find_opt (fun (r, s, _) -> r = er && s = id) sends with
+      | Some (_, _, msg) -> broadcast spec ~sender:id ~seq:er msg
+      | None ->
+        if holds_key then begin
+          match recv spec ctx.rng with
+          | Some (sender, seq, msg) -> receptions.(id) <- (er, sender, seq, msg) :: receptions.(id)
+          | None -> ()
+        end
+        else
+          (* Key outsiders cannot follow the hopping pattern; they scan
+             random channels and (provably) decode nothing useful. *)
+          for _ = 1 to spec.reps do
+            ignore (Radio.Engine.listen ~chan:(Prng.Rng.int ctx.rng spec.channels))
+          done
+    done
+  in
+  let engine = Radio.Engine.run cfg ~adversary (Array.make n node_body) in
+  let deliveries =
+    List.map
+      (fun (er, sender, msg) ->
+        let received_by =
+          List.sort compare
+            (Array.to_list
+               (Array.mapi
+                  (fun id recs ->
+                    if List.exists (fun (r, s, _, m) -> r = er && s = sender && m = msg) recs
+                    then id
+                    else -1)
+                  receptions)
+             |> List.filter (fun id -> id >= 0 && id <> sender))
+        in
+        { emulated_round = er; sender; message = msg; received_by })
+      (List.sort compare sends)
+  in
+  let forged_accepts =
+    Array.fold_left
+      (fun acc recs ->
+        acc
+        + List.length
+            (List.filter
+               (fun (_, sender, seq, msg) ->
+                 not (List.exists (fun (r, s, m) -> r = seq && s = sender && m = msg) sends))
+               recs))
+      0 receptions
+  in
+  (* Secrecy scan: every honest transmission in this protocol must be a
+     Sealed frame (checked via the payload-size stats being consistent is
+     weak; instead we rely on construction plus the transcript when
+     recorded). *)
+  let plaintext_leaks =
+    List.fold_left
+      (fun acc record ->
+        acc
+        + List.length
+            (List.filter
+               (fun (_, _, frame) ->
+                 match frame with Radio.Frame.Sealed _ -> false | _ -> true)
+               record.Radio.Transcript.honest_tx))
+      0 engine.Radio.Engine.transcript
+  in
+  { engine; deliveries; emulated_rounds; real_rounds_per_emulated = spec.reps;
+    plaintext_leaks; forged_accepts }

@@ -1,0 +1,688 @@
+(* Tests for the f-AME stack: schedule construction, communication-feedback
+   (Lemma 5), the full protocol (Theorem 6), the optimizations of Sections
+   5.5-5.6, and the baselines. *)
+
+module Params = Ame.Params
+module Schedule = Ame.Schedule
+module Feedback = Ame.Feedback
+module Tree_feedback = Ame.Tree_feedback
+module Fame = Ame.Fame
+module Direct = Ame.Direct
+module Naive = Ame.Naive
+module Gossip = Ame.Gossip
+module Compact = Ame.Compact
+module Attacks = Ame.Attacks
+module Oracle = Ame.Oracle
+module Workload = Rgraph.Workload
+
+let check = Alcotest.check
+
+let messages (v, w) = Printf.sprintf "m-%d-%d" v w
+
+let fame_cfg ?(t = 2) ?(seed = 1L) ?channels () =
+  let channels = Option.value channels ~default:(t + 1) in
+  let n = Params.nodes_required Params.default ~channels_used:channels ~budget:t ~channels + 6 in
+  Radio.Config.make ~n ~channels ~t ~seed ~max_rounds:20_000_000 ()
+
+let null_adversary (_ : Oracle.t) = Radio.Adversary.null
+
+(* -- params -- *)
+
+let params_reps_monotone () =
+  let p = Params.default in
+  let r1 = Params.feedback_reps p ~channels:3 ~budget:2 ~n:20 in
+  let r2 = Params.feedback_reps p ~channels:3 ~budget:2 ~n:200 in
+  check Alcotest.bool "more nodes, more reps" true (r2 > r1);
+  let wide = Params.feedback_reps p ~channels:6 ~budget:2 ~n:20 in
+  check Alcotest.bool "more channels, fewer reps" true (wide < r1)
+
+let params_nodes_required () =
+  (* At t=2, C=3: 3 channels * 9 watchers + 6 involved + 1 = 34, echoing the
+     paper's n > 3(t+1)^2 + 2(t+1) = 33. *)
+  check Alcotest.int "paper bound" 34
+    (Params.nodes_required Params.default ~channels_used:3 ~budget:2 ~channels:3)
+
+(* -- schedule -- *)
+
+let sched_proposal ?(starred = []) items =
+  ignore starred;
+  items
+
+let build_basic () =
+  let proposal = [ Game.State.Node 0; Game.State.Edge (1, 2); Game.State.Node 3 ] in
+  let sched =
+    Schedule.build ~proposal:(sched_proposal proposal) ~surrogates:(fun _ -> []) ~n:40
+      ~witness_size:3 ~watchers_per_channel:9
+  in
+  check Alcotest.int "node broadcasts itself" 0 sched.Schedule.broadcaster.(0);
+  check Alcotest.int "edge source broadcasts" 1 sched.Schedule.broadcaster.(1);
+  check (Alcotest.option Alcotest.int) "edge destination receives" (Some 2)
+    sched.Schedule.receiver.(1);
+  check Alcotest.int "witnesses are C per channel" 3 (Array.length sched.Schedule.witnesses.(0));
+  check Alcotest.int "watchers per channel" 9 (Array.length sched.Schedule.watchers.(0));
+  (* All assigned nodes distinct. *)
+  let assigned =
+    Array.to_list sched.Schedule.broadcaster
+    @ List.filter_map Fun.id (Array.to_list sched.Schedule.receiver)
+    @ List.concat_map Array.to_list (Array.to_list sched.Schedule.watchers)
+  in
+  check Alcotest.int "no node used twice" (List.length assigned)
+    (List.length (List.sort_uniq compare assigned))
+
+let build_uses_surrogate () =
+  (* Two edges share starred source 5: the second must use a surrogate. *)
+  let proposal = [ Game.State.Edge (5, 1); Game.State.Edge (5, 2) ] in
+  let sched =
+    Schedule.build ~proposal ~surrogates:(fun v -> if v = 5 then [ 30; 31; 32 ] else [])
+      ~n:40 ~witness_size:2 ~watchers_per_channel:6
+  in
+  check Alcotest.int "first edge keeps its source" 5 sched.Schedule.broadcaster.(0);
+  check Alcotest.int "second edge gets a surrogate" 30 sched.Schedule.broadcaster.(1);
+  check Alcotest.int "owner still the source" 5 sched.Schedule.owner.(1)
+
+let build_divergence_on_missing_surrogate () =
+  let proposal = [ Game.State.Edge (5, 1); Game.State.Edge (5, 2) ] in
+  try
+    ignore
+      (Schedule.build ~proposal ~surrogates:(fun _ -> []) ~n:40 ~witness_size:2
+         ~watchers_per_channel:6);
+    Alcotest.fail "expected Divergence"
+  with Schedule.Divergence _ -> ()
+
+let build_divergence_when_nodes_short () =
+  let proposal = [ Game.State.Node 0; Game.State.Node 1 ] in
+  try
+    ignore
+      (Schedule.build ~proposal ~surrogates:(fun _ -> []) ~n:5 ~witness_size:2
+         ~watchers_per_channel:6);
+    Alcotest.fail "expected Divergence"
+  with Schedule.Divergence _ -> ()
+
+let build_deterministic () =
+  let proposal = [ Game.State.Node 4; Game.State.Edge (7, 8) ] in
+  let build () =
+    Schedule.build ~proposal ~surrogates:(fun _ -> []) ~n:30 ~witness_size:2
+      ~watchers_per_channel:6
+  in
+  let a = build () and b = build () in
+  check Alcotest.bool "identical schedules" true
+    (a.Schedule.broadcaster = b.Schedule.broadcaster
+    && a.Schedule.watchers = b.Schedule.watchers)
+
+let roles_cover_everyone_once () =
+  let proposal = [ Game.State.Node 0; Game.State.Edge (1, 2); Game.State.Edge (3, 4) ] in
+  let sched =
+    Schedule.build ~proposal ~surrogates:(fun _ -> []) ~n:50 ~witness_size:3
+      ~watchers_per_channel:9
+  in
+  let broadcasters = ref 0 and receivers = ref 0 and watchers = ref 0 and off = ref 0 in
+  for id = 0 to 49 do
+    match Schedule.role_of sched id with
+    | Schedule.Broadcast _ -> incr broadcasters
+    | Schedule.Receive _ -> incr receivers
+    | Schedule.Watch _ -> incr watchers
+    | Schedule.Off -> incr off
+  done;
+  check Alcotest.int "3 broadcasters" 3 !broadcasters;
+  check Alcotest.int "2 receivers" 2 !receivers;
+  check Alcotest.int "27 watchers" 27 !watchers;
+  check Alcotest.int "rest off" (50 - 3 - 2 - 27) !off
+
+let witness_channel_lookup () =
+  let proposal = [ Game.State.Node 0; Game.State.Node 1 ] in
+  let sched =
+    Schedule.build ~proposal ~surrogates:(fun _ -> []) ~n:30 ~witness_size:2
+      ~watchers_per_channel:6
+  in
+  let w0 = sched.Schedule.witnesses.(1).(0) in
+  check (Alcotest.option Alcotest.int) "witness channel" (Some 1)
+    (Schedule.witness_channel sched w0);
+  check (Alcotest.option Alcotest.int) "non-witness" None (Schedule.witness_channel sched 29)
+
+let schedule_invariants_on_random_proposals =
+  (* Property: for arbitrary legal-shaped proposals, the schedule never
+     double-books a node, carries the right owner on every channel, and
+     gives every used channel a full watcher set. *)
+  let gen =
+    QCheck.Gen.(
+      let* t = int_range 1 3 in
+      let* node_items = int_range 0 (t + 1) in
+      let* seed = int_range 0 9999 in
+      return (t, node_items, seed))
+  in
+  let arb =
+    QCheck.make ~print:(fun (t, k, s) -> Printf.sprintf "t=%d nodes=%d seed=%d" t k s) gen
+  in
+  QCheck.Test.make ~name:"schedule invariants on random proposals" ~count:200 arb
+    (fun (t, node_items, seed) ->
+      let size = t + 1 in
+      let rng = Prng.Rng.create (Int64.of_int (seed + 1)) in
+      let node_items = min node_items size in
+      (* Distinct proposal nodes 0..node_items-1; edges with starred sources
+         50, 51, ... and distinct destinations above 60. *)
+      let nodes = List.init node_items (fun i -> Game.State.Node i) in
+      let edges =
+        List.init (size - node_items) (fun i ->
+            let src = 50 + Prng.Rng.int rng 2 in
+            Game.State.Edge (src, 60 + i))
+      in
+      let proposal = nodes @ edges in
+      let surrogates v = if v >= 50 then [ 40; 41; 42; 43; 44; 45 ] else [] in
+      match
+        Schedule.build ~proposal ~surrogates ~n:120 ~witness_size:(t + 1)
+          ~watchers_per_channel:(3 * (t + 1))
+      with
+      | exception Schedule.Divergence _ -> true (* legal outcome for adversarial inputs *)
+      | sched ->
+        let k = Array.length sched.Schedule.items in
+        let assigned =
+          Array.to_list sched.Schedule.broadcaster
+          @ List.filter_map Fun.id (Array.to_list sched.Schedule.receiver)
+          @ List.concat_map Array.to_list (Array.to_list sched.Schedule.watchers)
+        in
+        let no_double_booking =
+          List.length assigned = List.length (List.sort_uniq compare assigned)
+        in
+        let owners_right =
+          List.for_all Fun.id
+            (List.init k (fun c ->
+                 match sched.Schedule.items.(c) with
+                 | Game.State.Node v -> sched.Schedule.owner.(c) = v
+                 | Game.State.Edge (v, w) ->
+                   sched.Schedule.owner.(c) = v && sched.Schedule.receiver.(c) = Some w))
+        in
+        let witnesses_full =
+          Array.for_all (fun ws -> Array.length ws = t + 1) sched.Schedule.witnesses
+        in
+        no_double_booking && owners_right && witnesses_full)
+
+(* -- communication-feedback (Lemma 5) -- *)
+
+let feedback_agreement_across_seeds () =
+  for seed = 1 to 15 do
+    let agreed, _rounds =
+      Experiments.Feedback_exp.agreement_trial ~beta:3.0 ~t:2 ~n:30
+        ~seed:(Int64.of_int seed)
+    in
+    check Alcotest.bool (Printf.sprintf "seed %d agrees" seed) true agreed
+  done
+
+let feedback_round_cost () =
+  let _, rounds = Experiments.Feedback_exp.agreement_trial ~beta:3.0 ~t:2 ~n:30 ~seed:3L in
+  let reps = Params.feedback_reps Params.default ~channels:3 ~budget:2 ~n:30 in
+  check Alcotest.int "rounds = C * reps" (3 * reps) rounds
+
+let feedback_starved_fails_sometimes () =
+  let failures = ref 0 in
+  for seed = 1 to 15 do
+    let agreed, _ =
+      Experiments.Feedback_exp.agreement_trial ~beta:0.2 ~t:2 ~n:30 ~seed:(Int64.of_int seed)
+    in
+    if not agreed then incr failures
+  done;
+  check Alcotest.bool "starving feedback causes disagreement" true (!failures > 0)
+
+(* -- f-AME (Theorem 6) -- *)
+
+let fame_delivers_without_adversary () =
+  (* Even with no interference the game may strand a final tail of fewer
+     than t+1 proposable items (Restriction 1 demands full proposals), so
+     the clean-run guarantee is the same as the adversarial one: the failed
+     set has vertex cover <= t.  Here (disjoint pairs) that means at most t
+     failures. *)
+  let t = 2 in
+  let cfg = fame_cfg ~t () in
+  let pairs = Workload.disjoint_pairs ~n:cfg.Radio.Config.n ~count:8 in
+  let o = Fame.run ~cfg ~pairs ~messages ~adversary:null_adversary () in
+  check Alcotest.bool "at most t stranded" true (List.length o.Fame.failed <= t);
+  check Alcotest.bool "no divergence" false o.Fame.diverged;
+  (match o.Fame.disruption_vc with
+   | Some vc -> check Alcotest.bool "residue coverable by t" true (vc <= t)
+   | None -> Alcotest.fail "vc computable");
+  List.iter
+    (fun (pair, body) -> check Alcotest.string "payload" (messages pair) body)
+    o.Fame.delivered
+
+let fame_t_disruptable_under_jamming () =
+  List.iter
+    (fun (t, seed) ->
+      let cfg = fame_cfg ~t ~seed () in
+      let pairs = Workload.disjoint_pairs ~n:cfg.Radio.Config.n ~count:(4 * t) in
+      let o =
+        Fame.run ~cfg ~pairs ~messages
+          ~adversary:(fun board ->
+            Attacks.schedule_jammer board ~channels:(t + 1) ~budget:t
+              ~prefer:Attacks.Prefer_edges)
+          ()
+      in
+      check Alcotest.bool "no divergence" false o.Fame.diverged;
+      match o.Fame.disruption_vc with
+      | Some vc ->
+        check Alcotest.bool (Printf.sprintf "t=%d vc=%d <= t" t vc) true (vc <= t)
+      | None -> Alcotest.fail "vc should be computable")
+    [ (1, 2L); (2, 3L); (3, 4L); (2, 5L); (2, 6L) ]
+
+let fame_authentic_under_spoofing () =
+  let t = 2 in
+  let cfg = fame_cfg ~t ~seed:9L () in
+  let pairs = Workload.disjoint_pairs ~n:cfg.Radio.Config.n ~count:6 in
+  let o =
+    Fame.run ~cfg ~pairs ~messages
+      ~adversary:(fun _ ->
+        Naive.simulating_adversary (Prng.Rng.create 21L) ~pairs ~channels:(t + 1) ~budget:t)
+      ()
+  in
+  List.iter
+    (fun (pair, body) -> check Alcotest.string "authentic payload" (messages pair) body)
+    o.Fame.delivered;
+  check Alcotest.int "no spoofed receptions at all" 0
+    o.Fame.engine.Radio.Engine.stats.Radio.Transcript.Stats.spoofed_deliveries
+
+let fame_sender_awareness () =
+  let t = 2 in
+  let cfg = fame_cfg ~t ~seed:12L () in
+  let pairs = Workload.disjoint_pairs ~n:cfg.Radio.Config.n ~count:8 in
+  let o =
+    Fame.run ~cfg ~pairs ~messages
+      ~adversary:(fun board ->
+        Attacks.schedule_jammer board ~channels:(t + 1) ~budget:t ~prefer:Attacks.Any)
+      ()
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "confirmed = delivered" (List.map fst o.Fame.delivered) o.Fame.confirmed
+
+let fame_deterministic () =
+  let go () =
+    let cfg = fame_cfg ~t:1 ~seed:31L () in
+    let pairs = Workload.disjoint_pairs ~n:cfg.Radio.Config.n ~count:5 in
+    let o =
+      Fame.run ~cfg ~pairs ~messages
+        ~adversary:(fun board ->
+          Attacks.schedule_jammer board ~channels:2 ~budget:1 ~prefer:Attacks.Prefer_edges)
+        ()
+    in
+    (o.Fame.delivered, o.Fame.failed, o.Fame.engine.Radio.Engine.rounds_used)
+  in
+  let a = go () and b = go () in
+  check Alcotest.bool "reruns identical" true (a = b)
+
+let fame_validates_arguments () =
+  let cfg = fame_cfg ~t:2 () in
+  let pairs = Workload.disjoint_pairs ~n:cfg.Radio.Config.n ~count:4 in
+  (try
+     ignore (Fame.run ~channels_used:2 ~cfg ~pairs ~messages ~adversary:null_adversary ());
+     Alcotest.fail "proposal size <= t accepted"
+   with Invalid_argument _ -> ());
+  let small = Radio.Config.make ~n:10 ~channels:3 ~t:2 () in
+  try
+    ignore (Fame.run ~cfg:small ~pairs:[ (0, 1) ] ~messages ~adversary:null_adversary ());
+    Alcotest.fail "tiny n accepted"
+  with Invalid_argument _ -> ()
+
+let fame_wide_channels_faster () =
+  (* C = 2t must use fewer rounds than C = t+1 on the same workload. *)
+  let t = 2 in
+  let n =
+    max
+      (Params.nodes_required Params.default ~channels_used:(t + 1) ~budget:t
+         ~channels:(t + 1))
+      (Params.nodes_required Params.default ~channels_used:(2 * t) ~budget:t
+         ~channels:(2 * t))
+    + 6
+  in
+  let base = Radio.Config.make ~n ~channels:(t + 1) ~t ~seed:40L ~max_rounds:20_000_000 () in
+  let pairs = Workload.disjoint_pairs ~n ~count:8 in
+  let narrow =
+    Fame.run ~cfg:base ~pairs ~messages
+      ~adversary:(fun board ->
+        Attacks.schedule_jammer board ~channels:(t + 1) ~budget:t ~prefer:Attacks.Any)
+      ()
+  in
+  let wide_cfg = Radio.Config.make ~n ~channels:(2 * t) ~t ~seed:40L ~max_rounds:20_000_000 () in
+  let wide =
+    Fame.run ~cfg:wide_cfg ~pairs ~messages
+      ~adversary:(fun board ->
+        Attacks.schedule_jammer board ~channels:(2 * t) ~budget:t ~prefer:Attacks.Any)
+      ()
+  in
+  check Alcotest.bool "2t channels strictly faster" true
+    (wide.Fame.engine.Radio.Engine.rounds_used < narrow.Fame.engine.Radio.Engine.rounds_used);
+  check Alcotest.bool "wide run sound" false wide.Fame.diverged
+
+let fame_tree_mode_works () =
+  let t = 2 in
+  let channels = 2 * t * t in
+  let cfg = Radio.Config.make ~n:55 ~channels ~t ~seed:41L ~max_rounds:20_000_000 () in
+  let pairs = Workload.disjoint_pairs ~n:55 ~count:8 in
+  let o =
+    Fame.run ~channels_used:4 ~feedback_mode:Fame.Tree ~cfg ~pairs ~messages
+      ~adversary:(fun board ->
+        Attacks.schedule_jammer board ~channels ~budget:t ~prefer:Attacks.Prefer_edges)
+      ()
+  in
+  check Alcotest.bool "tree mode sound" false o.Fame.diverged;
+  (match o.Fame.disruption_vc with
+   | Some vc -> check Alcotest.bool "tree vc <= t" true (vc <= t)
+   | None -> Alcotest.fail "vc computable");
+  List.iter
+    (fun (pair, body) -> check Alcotest.string "tree payload" (messages pair) body)
+    o.Fame.delivered
+
+let fame_tree_mode_validation () =
+  let t = 2 in
+  let cfg = Radio.Config.make ~n:55 ~channels:8 ~t ~seed:1L () in
+  try
+    ignore
+      (Fame.run ~channels_used:6 ~feedback_mode:Fame.Tree ~cfg ~pairs:[ (0, 1) ] ~messages
+         ~adversary:null_adversary ());
+    Alcotest.fail "non power-of-two accepted"
+  with Invalid_argument _ -> ()
+
+let fame_invariants_on_random_workloads =
+  (* End-to-end property: for random workloads, seeds, and adversaries,
+     every delivered payload is authentic, accounting adds up, and when the
+     run did not hit a whp failure the disruption cover respects t. *)
+  let gen =
+    QCheck.Gen.(
+      let* t = int_range 1 2 in
+      let* seed = int_range 1 100_000 in
+      let* pair_count = int_range 1 6 in
+      let* adversary_kind = int_range 0 2 in
+      return (t, seed, pair_count, adversary_kind))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (t, seed, k, a) -> Printf.sprintf "t=%d seed=%d pairs=%d adv=%d" t seed k a)
+      gen
+  in
+  QCheck.Test.make ~name:"fame invariants on random workloads" ~count:25 arb
+    (fun (t, seed, pair_count, adversary_kind) ->
+      let channels = t + 1 in
+      let n =
+        Params.nodes_required Params.default ~channels_used:channels ~budget:t ~channels + 4
+      in
+      let rng = Prng.Rng.create (Int64.of_int seed) in
+      let pairs = Workload.random_pairs rng ~n ~count:pair_count in
+      let cfg =
+        Radio.Config.make ~n ~channels ~t ~seed:(Int64.of_int (seed * 31))
+          ~max_rounds:20_000_000 ()
+      in
+      let adversary board =
+        match adversary_kind with
+        | 0 -> Radio.Adversary.null
+        | 1 ->
+          Radio.Adversary.random_jammer (Prng.Rng.create (Int64.of_int (seed * 7)))
+            ~channels ~budget:t
+        | _ -> Attacks.schedule_jammer board ~channels ~budget:t ~prefer:Attacks.Prefer_edges
+      in
+      let o = Fame.run ~cfg ~pairs ~messages ~adversary () in
+      let authentic =
+        List.for_all (fun (pair, body) -> body = messages pair) o.Fame.delivered
+      in
+      let accounted =
+        List.length o.Fame.delivered + List.length o.Fame.failed = List.length pairs
+      in
+      let cover_ok =
+        o.Fame.diverged
+        || (match o.Fame.disruption_vc with Some vc -> vc <= t | None -> false)
+      in
+      authentic && accounted && cover_ok)
+
+(* -- tree feedback internals -- *)
+
+let tree_pair_index_bijective () =
+  (* At each level the pair indices of the lower endpoints enumerate
+     0..groups/2-1 exactly once. *)
+  let groups = 8 in
+  for level = 0 to 2 do
+    let lowers =
+      List.filter (fun c -> c land (1 lsl level) = 0) (List.init groups Fun.id)
+    in
+    let indices = List.map (Tree_feedback.pair_index ~level) lowers in
+    check
+      (Alcotest.list Alcotest.int)
+      (Printf.sprintf "level %d indices" level)
+      (List.init (groups / 2) Fun.id)
+      (List.sort compare indices)
+  done
+
+let tree_rounds_formula () =
+  check Alcotest.int "(2*log2 8 + 2) * reps" ((2 * 3 + 2) * 5)
+    (Tree_feedback.rounds_consumed ~groups:8 ~reps:5)
+
+(* -- direct baseline -- *)
+
+let direct_delivers_without_adversary () =
+  (* The direct baseline stops when at most t node-disjoint edges remain
+     schedulable (the adversary could then block every move); on a
+     disjoint-pairs workload that strands at most t pairs. *)
+  let t = 2 in
+  let cfg = fame_cfg ~t ~seed:50L () in
+  let pairs = Workload.disjoint_pairs ~n:cfg.Radio.Config.n ~count:8 in
+  let o = Direct.run ~cfg ~pairs ~messages ~adversary:null_adversary () in
+  check Alcotest.bool "at most t stranded" true (List.length o.Direct.failed <= t);
+  check Alcotest.bool "delivered the rest" true (List.length o.Direct.delivered >= 8 - t);
+  List.iter
+    (fun (pair, body) -> check Alcotest.string "payload" (messages pair) body)
+    o.Direct.delivered
+
+let direct_triangle_lower_bound () =
+  (* The Section 5 argument: t disjoint triangles, triangle-aware jamming,
+     no surrogates -> disruption cover exactly 2t. *)
+  List.iter
+    (fun t ->
+      let triples = List.init t (fun i -> [ 3 * i; (3 * i) + 1; (3 * i) + 2 ]) in
+      let triple_of v = if v < 3 * t then Some (v / 3) else None in
+      let pairs = List.concat_map Workload.complete_on triples in
+      let cfg = fame_cfg ~t ~seed:(Int64.of_int (60 + t)) () in
+      let o =
+        Direct.run ~cfg ~pairs ~messages
+          ~adversary:(fun board ->
+            Attacks.triangle_jammer board ~channels:(t + 1) ~budget:t ~triple_of)
+          ()
+      in
+      match o.Direct.disruption_vc with
+      | Some vc -> check Alcotest.int (Printf.sprintf "t=%d cover is 2t" t) (2 * t) vc
+      | None -> Alcotest.fail "vc computable")
+    [ 1; 2 ]
+
+let fame_beats_triangle_adversary () =
+  let t = 2 in
+  let triples = List.init t (fun i -> [ 3 * i; (3 * i) + 1; (3 * i) + 2 ]) in
+  let triple_of v = if v < 3 * t then Some (v / 3) else None in
+  let pairs = List.concat_map Workload.complete_on triples in
+  let cfg = fame_cfg ~t ~seed:70L () in
+  let o =
+    Fame.run ~cfg ~pairs ~messages
+      ~adversary:(fun board ->
+        Attacks.triangle_jammer board ~channels:(t + 1) ~budget:t ~triple_of)
+      ()
+  in
+  match o.Fame.disruption_vc with
+  | Some vc -> check Alcotest.bool "surrogates beat triangles" true (vc <= t)
+  | None -> Alcotest.fail "vc computable"
+
+(* -- naive protocol (Theorem 2) -- *)
+
+let naive_genuine_without_adversary () =
+  let t = 2 in
+  let cfg = Radio.Config.make ~n:12 ~channels:(t + 1) ~t ~seed:80L () in
+  let pairs = Workload.disjoint_pairs ~n:12 ~count:3 in
+  let o = Naive.run ~rounds:200 ~cfg ~pairs ~messages ~adversary:Radio.Adversary.null () in
+  check Alcotest.int "all genuine" 3 o.Naive.genuine;
+  check Alcotest.int "none fooled" 0 o.Naive.fooled
+
+let naive_fooled_by_simulation () =
+  let t = 2 in
+  let fooled = ref 0 in
+  for seed = 1 to 20 do
+    let cfg = Radio.Config.make ~n:12 ~channels:(t + 1) ~t ~seed:(Int64.of_int seed) () in
+    let pairs = Workload.disjoint_pairs ~n:12 ~count:t in
+    let adversary =
+      Naive.simulating_adversary
+        (Prng.Rng.create (Int64.of_int (seed * 7)))
+        ~pairs ~channels:(t + 1) ~budget:t
+    in
+    let o = Naive.run ~rounds:60 ~cfg ~pairs ~messages ~adversary () in
+    fooled := !fooled + o.Naive.fooled
+  done;
+  check Alcotest.bool "simulating adversary fools some" true (!fooled > 5)
+
+(* -- gossip baseline -- *)
+
+let gossip_completes_cleanly () =
+  let cfg = Radio.Config.make ~n:12 ~channels:2 ~t:1 ~seed:90L () in
+  let o =
+    Gossip.run ~cfg ~rumors:(Printf.sprintf "r%d") ~adversary:Radio.Adversary.null ()
+  in
+  check Alcotest.bool "completed" true (o.Gossip.rounds_to_completion <> None);
+  check Alcotest.int "no fakes" 0 o.Gossip.fake_rumors_accepted
+
+let gossip_accepts_fakes_under_spoofing () =
+  let cfg = Radio.Config.make ~n:12 ~channels:2 ~t:1 ~seed:91L () in
+  let adversary =
+    Radio.Adversary.spoofer (Prng.Rng.create 17L) ~channels:2 ~budget:1
+      ~forge:(fun ~round chan ->
+        Radio.Frame.Vector { owner = chan; entries = [ (round mod 12, "FAKE") ] })
+  in
+  let o = Gossip.run ~cfg ~rumors:(Printf.sprintf "r%d") ~adversary () in
+  check Alcotest.bool "gossip is spoofable" true (o.Gossip.fake_rumors_accepted > 0)
+
+(* -- compact (Section 5.6) -- *)
+
+let compact_calendar_layout () =
+  let pairs = [ (0, 1); (0, 2); (3, 1) ] in
+  let cal = Compact.make_calendar ~pairs ~budget:1 ~n:20 () in
+  check Alcotest.int "one epoch per edge" 3 (Array.length cal.Compact.epochs);
+  (match Compact.epoch_of_round cal 0 with
+   | Some ((0, 1), 0, 2) -> ()
+   | _ -> Alcotest.fail "first epoch should be (0,1) index 0 of 2");
+  (match Compact.epoch_of_round cal (cal.Compact.epoch_rounds * 2) with
+   | Some ((3, 1), 0, 1) -> ()
+   | _ -> Alcotest.fail "third epoch should be (3,1)");
+  check Alcotest.bool "past the end" true
+    (Compact.epoch_of_round cal (cal.Compact.epoch_rounds * 3) = None)
+
+let compact_hashes_separate () =
+  check Alcotest.bool "H1 <> H2 on same input" true
+    (Compact.hash_chain [ "a"; "b" ] <> Compact.vector_signature [ "a"; "b" ]);
+  check Alcotest.bool "chain encoding is injective-ish" true
+    (Compact.hash_chain [ "ab"; "c" ] <> Compact.hash_chain [ "a"; "bc" ])
+
+let compact_end_to_end_under_spoof_flood () =
+  let t = 1 in
+  let cfg = Radio.Config.make ~n:24 ~channels:2 ~t ~seed:95L ~max_rounds:20_000_000 () in
+  let sources = [ 0; 1; 2; 3 ] and dests = [ 10; 11; 12 ] in
+  let pairs = List.concat_map (fun v -> List.map (fun w -> (v, w)) dests) sources in
+  let o =
+    Compact.run ~cfg ~pairs ~messages
+      ~gossip_adversary:(fun cal ->
+        Compact.chain_spoofer (Prng.Rng.create 7L) cal ~channels:2 ~budget:t)
+      ~fame_adversary:(fun board ->
+        Attacks.schedule_jammer board ~channels:2 ~budget:t ~prefer:Attacks.Any)
+      ()
+  in
+  check Alcotest.int "spoof flood defeated" 0 o.Compact.reconstruction_failures;
+  List.iter
+    (fun (pair, body) -> check Alcotest.string "reconstructed payload" (messages pair) body)
+    o.Compact.delivered;
+  check Alcotest.bool "some deliveries happened" true (List.length o.Compact.delivered > 0)
+
+let compact_frames_constant_size () =
+  (* Frame size must not grow with fan-out. *)
+  let t = 1 in
+  let run_fan k =
+    let dests = List.init k (fun i -> 10 + i) in
+    let pairs = List.map (fun w -> (0, w)) dests @ List.map (fun w -> (1, w)) dests in
+    let cfg = Radio.Config.make ~n:(16 + k) ~channels:2 ~t ~seed:96L ~max_rounds:20_000_000 () in
+    let o =
+      Compact.run ~cfg ~pairs ~messages
+        ~gossip_adversary:(fun _ -> Radio.Adversary.null)
+        ~fame_adversary:null_adversary ()
+    in
+    o.Compact.max_honest_payload
+  in
+  let small = run_fan 2 and large = run_fan 8 in
+  check Alcotest.int "payload independent of fan-out" small large
+
+(* -- attacks -- *)
+
+let triangle_jammer_targets_only_triples () =
+  let board = Oracle.create () in
+  Oracle.post board ~round:5
+    { Oracle.channels_in_use = [ 0; 1; 2 ];
+      kinds = [ (0, Oracle.Edge_item (0, 1)); (1, Oracle.Edge_item (0, 4));
+                (2, Oracle.Node_item 7) ] };
+  let adversary =
+    Attacks.triangle_jammer board ~channels:3 ~budget:2 ~triple_of:(fun v ->
+        if v < 3 then Some 0 else None)
+  in
+  match adversary.Radio.Adversary.act ~round:5 with
+  | [ { Radio.Adversary.chan = 0; spoof = None } ] -> ()
+  | strikes ->
+    Alcotest.failf "expected only channel 0 jammed, got %d strikes" (List.length strikes)
+
+let schedule_jammer_prefers_edges () =
+  let board = Oracle.create () in
+  Oracle.post board ~round:3
+    { Oracle.channels_in_use = [ 0; 1; 2 ];
+      kinds = [ (0, Oracle.Node_item 5); (1, Oracle.Edge_item (2, 3));
+                (2, Oracle.Edge_item (4, 6)) ] };
+  let adversary =
+    Attacks.schedule_jammer board ~channels:3 ~budget:2 ~prefer:Attacks.Prefer_edges
+  in
+  let strikes = adversary.Radio.Adversary.act ~round:3 in
+  let channels = List.map (fun s -> s.Radio.Adversary.chan) strikes in
+  check (Alcotest.list Alcotest.int) "edges jammed first" [ 1; 2 ] (List.sort compare channels)
+
+let () =
+  Alcotest.run "ame"
+    [ ( "params",
+        [ Alcotest.test_case "reps monotone" `Quick params_reps_monotone;
+          Alcotest.test_case "nodes required" `Quick params_nodes_required ] );
+      ( "schedule",
+        [ Alcotest.test_case "basic build" `Quick build_basic;
+          Alcotest.test_case "surrogate substitution" `Quick build_uses_surrogate;
+          Alcotest.test_case "missing surrogate diverges" `Quick build_divergence_on_missing_surrogate;
+          Alcotest.test_case "node shortage diverges" `Quick build_divergence_when_nodes_short;
+          Alcotest.test_case "deterministic" `Quick build_deterministic;
+          Alcotest.test_case "role partition" `Quick roles_cover_everyone_once;
+          Alcotest.test_case "witness lookup" `Quick witness_channel_lookup;
+          QCheck_alcotest.to_alcotest schedule_invariants_on_random_proposals ] );
+      ( "feedback",
+        [ Alcotest.test_case "agreement across seeds" `Quick feedback_agreement_across_seeds;
+          Alcotest.test_case "round cost" `Quick feedback_round_cost;
+          Alcotest.test_case "starved feedback fails" `Quick feedback_starved_fails_sometimes ] );
+      ( "fame",
+        [ Alcotest.test_case "clean delivery" `Quick fame_delivers_without_adversary;
+          Alcotest.test_case "t-disruptability" `Slow fame_t_disruptable_under_jamming;
+          Alcotest.test_case "authentication under spoofing" `Quick fame_authentic_under_spoofing;
+          Alcotest.test_case "sender awareness" `Quick fame_sender_awareness;
+          Alcotest.test_case "deterministic" `Quick fame_deterministic;
+          Alcotest.test_case "argument validation" `Quick fame_validates_arguments;
+          Alcotest.test_case "C=2t faster" `Slow fame_wide_channels_faster;
+          Alcotest.test_case "tree mode end-to-end" `Slow fame_tree_mode_works;
+          Alcotest.test_case "tree mode validation" `Quick fame_tree_mode_validation;
+          QCheck_alcotest.to_alcotest fame_invariants_on_random_workloads ] );
+      ( "tree-feedback",
+        [ Alcotest.test_case "pair index bijective" `Quick tree_pair_index_bijective;
+          Alcotest.test_case "round formula" `Quick tree_rounds_formula ] );
+      ( "direct",
+        [ Alcotest.test_case "clean delivery" `Quick direct_delivers_without_adversary;
+          Alcotest.test_case "triangle lower bound 2t" `Slow direct_triangle_lower_bound;
+          Alcotest.test_case "fame beats triangles" `Slow fame_beats_triangle_adversary ] );
+      ( "naive",
+        [ Alcotest.test_case "genuine without adversary" `Quick naive_genuine_without_adversary;
+          Alcotest.test_case "fooled by simulation" `Quick naive_fooled_by_simulation ] );
+      ( "gossip",
+        [ Alcotest.test_case "completes cleanly" `Quick gossip_completes_cleanly;
+          Alcotest.test_case "spoofable" `Quick gossip_accepts_fakes_under_spoofing ] );
+      ( "compact",
+        [ Alcotest.test_case "calendar layout" `Quick compact_calendar_layout;
+          Alcotest.test_case "hash domains separate" `Quick compact_hashes_separate;
+          Alcotest.test_case "end-to-end under spoof flood" `Slow compact_end_to_end_under_spoof_flood;
+          Alcotest.test_case "constant frame size" `Slow compact_frames_constant_size ] );
+      ( "attacks",
+        [ Alcotest.test_case "triangle jammer selective" `Quick triangle_jammer_targets_only_triples;
+          Alcotest.test_case "schedule jammer preference" `Quick schedule_jammer_prefers_edges ] ) ]

@@ -1,0 +1,84 @@
+(* Tests for the public Core facade and the experiment registry. *)
+
+let check = Alcotest.check
+
+let attack_parsing () =
+  (match Core.attack_of_string "schedule-jam" with
+   | Ok Core.Schedule_jam -> ()
+   | _ -> Alcotest.fail "schedule-jam should parse");
+  (match Core.attack_of_string "bogus" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "bogus should not parse");
+  check Alcotest.int "five canned attacks" 5 (List.length Core.attack_names);
+  List.iter
+    (fun name ->
+      match Core.attack_of_string name with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+    Core.attack_names
+
+let exchange_api () =
+  let triples = [ (0, 5, "alpha"); (1, 6, "beta"); (2, 7, "gamma"); (3, 8, "delta") ] in
+  let r = Core.exchange ~seed:2L ~t:1 ~n:25 ~attack:Core.Schedule_jam triples in
+  check Alcotest.bool "authentic" true r.Core.authentic;
+  check Alcotest.bool "sound" false r.Core.diverged;
+  check Alcotest.int "accounting adds up" (List.length triples)
+    (List.length r.Core.delivered + List.length r.Core.failed);
+  (match r.Core.disruption_cover with
+   | Some c -> check Alcotest.bool "cover within t" true (c <= 1)
+   | None -> Alcotest.fail "cover should be computable");
+  check Alcotest.bool "rounds positive" true (r.Core.rounds > 0)
+
+let exchange_no_attack_delivers_all () =
+  let triples = [ (0, 5, "a"); (1, 6, "b"); (2, 7, "c") ] in
+  let r = Core.exchange ~seed:3L ~t:1 ~n:25 ~attack:Core.No_attack triples in
+  check Alcotest.int "all delivered" 3 (List.length r.Core.delivered)
+
+let group_key_api () =
+  let r = Core.establish_group_key ~seed:4L ~t:1 ~n:20 ~attack:Core.Random_jam () in
+  check Alcotest.bool "agreement guarantee" true (r.Core.agreed_holders >= 19);
+  check Alcotest.int "nobody wrong" 0 r.Core.wrong_holders;
+  check Alcotest.bool "keys retrievable" true (r.Core.group_key_of 3 <> None);
+  check Alcotest.bool "out of range is None" true (r.Core.group_key_of 99 = None)
+
+let channel_api () =
+  let sends = [ (0, 1, "hello"); (1, 2, "world") ] in
+  let r = Core.open_channel ~seed:5L ~t:1 ~n:16 ~attack:Core.Random_jam sends in
+  check Alcotest.bool "secrecy" true r.Core.secrecy_ok;
+  check Alcotest.bool "authentication" true r.Core.authentication_ok;
+  List.iter
+    (fun (_, _, _, receivers) -> check Alcotest.int "everyone hears" 15 receivers)
+    r.Core.deliveries
+
+let registry_complete () =
+  check
+    (Alcotest.list Alcotest.string)
+    "all experiment ids present"
+    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"; "e12"; "e13";
+      "e14"; "e15"; "e16"; "e17" ]
+    Experiments.Registry.ids;
+  check Alcotest.bool "find works" true (Experiments.Registry.find "e4" <> None);
+  check Alcotest.bool "find rejects junk" true (Experiments.Registry.find "e99" = None)
+
+let registry_e4_runs () =
+  (* The cheapest experiment must run end-to-end through the registry. *)
+  match Experiments.Registry.find "e4" with
+  | None -> Alcotest.fail "e4 missing"
+  | Some e ->
+    let buf = Buffer.create 256 in
+    let fmt = Format.formatter_of_buffer buf in
+    e.Experiments.Registry.run ~quick:true fmt;
+    Format.pp_print_flush fmt ();
+    check Alcotest.bool "produced a table" true (Buffer.length buf > 100)
+
+let () =
+  Alcotest.run "api"
+    [ ( "core",
+        [ Alcotest.test_case "attack parsing" `Quick attack_parsing;
+          Alcotest.test_case "exchange" `Quick exchange_api;
+          Alcotest.test_case "exchange clean" `Quick exchange_no_attack_delivers_all;
+          Alcotest.test_case "group key" `Slow group_key_api;
+          Alcotest.test_case "secure channel" `Quick channel_api ] );
+      ( "registry",
+        [ Alcotest.test_case "complete" `Quick registry_complete;
+          Alcotest.test_case "e4 runs" `Quick registry_e4_runs ] ) ]

@@ -1,0 +1,296 @@
+(* Tests for the cryptographic substrate.  SHA-256 and HMAC are checked
+   against the published NIST / RFC 4231 vectors; the arithmetic, DH, PRF,
+   and cipher layers are checked for their algebraic contracts. *)
+
+module Sha256 = Crypto.Sha256
+module Hmac = Crypto.Hmac
+module Modarith = Crypto.Modarith
+module Dh = Crypto.Dh
+module Prf = Crypto.Prf
+module Cipher = Crypto.Cipher
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* -- SHA-256 standard vectors -- *)
+
+let sha_empty () =
+  check Alcotest.string "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.digest_hex "")
+
+let sha_abc () =
+  check Alcotest.string "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.digest_hex "abc")
+
+let sha_two_blocks () =
+  check Alcotest.string "448-bit message"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.digest_hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+let sha_million_a () =
+  check Alcotest.string "million 'a'"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest_hex (String.make 1_000_000 'a'))
+
+let sha_length () =
+  check Alcotest.int "digest size" 32 (String.length (Sha256.digest "anything"))
+
+let sha_streaming_equals_oneshot =
+  QCheck.Test.make ~name:"streaming = one-shot" ~count:200
+    QCheck.(pair (string_of_size (Gen.int_range 0 300)) (int_range 0 300))
+    (fun (s, cut) ->
+      let cut = min cut (String.length s) in
+      let ctx = Sha256.init () in
+      Sha256.update ctx (String.sub s 0 cut);
+      Sha256.update ctx (String.sub s cut (String.length s - cut));
+      Sha256.finalize ctx = Sha256.digest s)
+
+let sha_distinct_inputs =
+  QCheck.Test.make ~name:"distinct short inputs hash apart" ~count:200
+    QCheck.(pair (string_of_size (Gen.int_range 0 64)) (string_of_size (Gen.int_range 0 64)))
+    (fun (a, b) -> a = b || Sha256.digest a <> Sha256.digest b)
+
+(* -- HMAC-SHA256 (RFC 4231) -- *)
+
+let hmac_case1 () =
+  check Alcotest.string "rfc4231 case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.mac_hex ~key:(String.make 20 '\x0b') "Hi There")
+
+let hmac_case2 () =
+  check Alcotest.string "rfc4231 case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.mac_hex ~key:"Jefe" "what do ya want for nothing?")
+
+let hmac_long_key () =
+  (* Keys longer than one block are pre-hashed; just assert stability and
+     tag size. *)
+  let tag = Hmac.mac ~key:(String.make 131 '\xaa') "Test Using Larger Than Block-Size Key" in
+  check Alcotest.int "tag size" 32 (String.length tag)
+
+let hmac_verify_roundtrip =
+  QCheck.Test.make ~name:"verify accepts correct tags" ~count:200
+    QCheck.(pair string string)
+    (fun (key, msg) -> Hmac.verify ~key ~tag:(Hmac.mac ~key msg) msg)
+
+let hmac_verify_rejects_tamper =
+  QCheck.Test.make ~name:"verify rejects flipped bit" ~count:200
+    QCheck.(pair string (string_of_size (Gen.int_range 1 100)))
+    (fun (key, msg) ->
+      let tag = Bytes.of_string (Hmac.mac ~key msg) in
+      Bytes.set tag 0 (Char.chr (Char.code (Bytes.get tag 0) lxor 1));
+      not (Hmac.verify ~key ~tag:(Bytes.to_string tag) msg))
+
+(* -- modular arithmetic -- *)
+
+let mulmod_matches_small () =
+  for a = 0 to 30 do
+    for b = 0 to 30 do
+      if a < 29 && b < 29 then
+        check Alcotest.int
+          (Printf.sprintf "%d*%d mod 29" a b)
+          (a * b mod 29)
+          (Int64.to_int (Modarith.mul_mod (Int64.of_int a) (Int64.of_int b) 29L))
+    done
+  done
+
+let mulmod_large_no_overflow () =
+  (* p close to 2^61: products would overflow naive multiplication. *)
+  let p = 2305843009213693951L (* 2^61 - 1, prime *) in
+  let a = Int64.sub p 2L and b = Int64.sub p 3L in
+  (* (p-2)(p-3) mod p = 6 mod p *)
+  check Alcotest.int64 "near-modulus product" 6L (Modarith.mul_mod a b p)
+
+let powmod_fermat () =
+  let p = 1000003L in
+  List.iter
+    (fun a -> check Alcotest.int64 "fermat little" 1L (Modarith.pow_mod a (Int64.sub p 1L) p))
+    [ 2L; 3L; 999999L; 123456L ]
+
+let inv_mod_works =
+  QCheck.Test.make ~name:"inv_mod inverts" ~count:300
+    QCheck.(int_range 1 1000002)
+    (fun a ->
+      let p = 1000003L in
+      let a = Int64.of_int a in
+      let inv = Modarith.inv_mod a p in
+      Modarith.mul_mod (Int64.rem a p) inv p = 1L)
+
+let miller_rabin_known () =
+  List.iter
+    (fun (x, expected) ->
+      check Alcotest.bool (Int64.to_string x) expected (Modarith.is_probable_prime x))
+    [ (0L, false); (1L, false); (2L, true); (3L, true); (4L, false); (17L, true);
+      (561L, false) (* Carmichael *); (7919L, true); (1000003L, true);
+      (2305843009213693951L, true) (* M61 *); (2305843009213693949L, false) ]
+
+let safe_prime_properties () =
+  List.iter
+    (fun bits ->
+      let p = Modarith.find_safe_prime ~bits ~seed:99L in
+      check Alcotest.bool "p prime" true (Modarith.is_probable_prime p);
+      let q = Int64.shift_right_logical (Int64.sub p 1L) 1 in
+      check Alcotest.bool "q prime" true (Modarith.is_probable_prime q);
+      let lo = Int64.shift_left 1L (bits - 1) and hi = Int64.shift_left 1L bits in
+      check Alcotest.bool "bit length" true (p >= lo && p < hi))
+    [ 16; 24; 32; 48 ]
+
+let safe_prime_deterministic () =
+  check Alcotest.int64 "same seed, same prime"
+    (Modarith.find_safe_prime ~bits:32 ~seed:5L)
+    (Modarith.find_safe_prime ~bits:32 ~seed:5L)
+
+(* -- Diffie-Hellman -- *)
+
+let dh_params_sane () =
+  let ps = Lazy.force Dh.default_params in
+  check Alcotest.bool "p prime" true (Modarith.is_probable_prime ps.Dh.p);
+  check Alcotest.bool "q prime" true (Modarith.is_probable_prime ps.Dh.q);
+  check Alcotest.int64 "g has order q" 1L (Modarith.pow_mod ps.Dh.g ps.Dh.q ps.Dh.p)
+
+let dh_agreement =
+  QCheck.Test.make ~name:"dh both sides agree" ~count:50 QCheck.small_int (fun seed ->
+      let rng = Prng.Rng.create (Int64.of_int (seed + 1)) in
+      let a = Dh.generate rng and b = Dh.generate rng in
+      Dh.shared_secret ~secret:a.Dh.secret b.Dh.public
+      = Dh.shared_secret ~secret:b.Dh.secret a.Dh.public)
+
+let dh_validation () =
+  let ps = Lazy.force Dh.default_params in
+  let rng = Prng.Rng.create 4L in
+  let kp = Dh.generate rng in
+  check Alcotest.bool "generated key valid" true (Dh.valid_public kp.Dh.public);
+  check Alcotest.bool "0 invalid" false (Dh.valid_public 0L);
+  check Alcotest.bool "1 invalid" false (Dh.valid_public 1L);
+  check Alcotest.bool "p-1 invalid" false (Dh.valid_public (Int64.sub ps.Dh.p 1L))
+
+let dh_encode_roundtrip =
+  QCheck.Test.make ~name:"public key wire roundtrip" ~count:100 QCheck.small_int (fun seed ->
+      let rng = Prng.Rng.create (Int64.of_int (seed + 7)) in
+      let kp = Dh.generate rng in
+      Dh.decode_public (Dh.encode_public kp.Dh.public) = Some kp.Dh.public)
+
+let dh_derive_key_separates () =
+  check Alcotest.bool "info separates keys" true
+    (Dh.derive_key ~info:"a" 42L <> Dh.derive_key ~info:"b" 42L)
+
+(* -- PRF -- *)
+
+let prf_deterministic () =
+  check Alcotest.string "same inputs same output"
+    (Sha256.hex_of (Prf.bytes ~key:"k" ~label:"l" ~counter:3))
+    (Sha256.hex_of (Prf.bytes ~key:"k" ~label:"l" ~counter:3))
+
+let prf_label_separation () =
+  check Alcotest.bool "labels separate" true
+    (Prf.bytes ~key:"k" ~label:"a" ~counter:0 <> Prf.bytes ~key:"k" ~label:"b" ~counter:0)
+
+let prf_channel_hop_range =
+  QCheck.Test.make ~name:"channel_hop in range" ~count:500
+    QCheck.(pair (int_range 0 10000) (int_range 1 64))
+    (fun (round, channels) ->
+      let c = Prf.channel_hop ~key:"shared" ~round ~channels in
+      c >= 0 && c < channels)
+
+let prf_keystream_length =
+  QCheck.Test.make ~name:"keystream length exact" ~count:100 (QCheck.int_range 0 500)
+    (fun len -> String.length (Prf.keystream ~key:"k" ~nonce:"n" len) = len)
+
+(* -- authenticated cipher -- *)
+
+let cipher_roundtrip =
+  QCheck.Test.make ~name:"seal/open roundtrip" ~count:300
+    QCheck.(triple string small_int string)
+    (fun (key, nonce, plaintext) ->
+      let sealed = Cipher.seal ~key ~nonce:(Int64.of_int nonce) plaintext in
+      Cipher.open_ ~key sealed = Some plaintext)
+
+let cipher_rejects_wrong_key =
+  QCheck.Test.make ~name:"wrong key rejected" ~count:100
+    QCheck.(pair string string)
+    (fun (key, plaintext) ->
+      let sealed = Cipher.seal ~key ~nonce:1L plaintext in
+      Cipher.open_ ~key:(key ^ "x") sealed = None)
+
+let cipher_rejects_tamper () =
+  let sealed = Cipher.seal ~key:"k" ~nonce:9L "attack at dawn" in
+  let body = Bytes.of_string sealed.Cipher.body in
+  if Bytes.length body > 0 then
+    Bytes.set body 0 (Char.chr (Char.code (Bytes.get body 0) lxor 0x80));
+  check
+    (Alcotest.option Alcotest.string)
+    "tampered body rejected" None
+    (Cipher.open_ ~key:"k" { sealed with Cipher.body = Bytes.to_string body })
+
+let cipher_hides_plaintext () =
+  let plaintext = "super secret content here" in
+  let sealed = Cipher.seal ~key:"key" ~nonce:4L plaintext in
+  (* The ciphertext must not contain the plaintext as a substring. *)
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "ciphertext opaque" false (contains sealed.Cipher.body plaintext)
+
+let cipher_wire_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:200
+    QCheck.(pair string string)
+    (fun (key, plaintext) ->
+      let sealed = Cipher.seal ~key ~nonce:2L plaintext in
+      match Cipher.decode (Cipher.encode sealed) with
+      | Some s -> Cipher.open_ ~key s = Some plaintext
+      | None -> false)
+
+let cipher_decode_garbage =
+  QCheck.Test.make ~name:"decode rejects garbage gracefully" ~count:200
+    (QCheck.string_of_size (QCheck.Gen.int_range 0 50))
+    (fun junk ->
+      match Cipher.decode junk with
+      | None -> true
+      | Some sealed -> Cipher.encode sealed = junk)
+
+let () =
+  Alcotest.run "crypto"
+    [ ( "sha256",
+        [ Alcotest.test_case "empty vector" `Quick sha_empty;
+          Alcotest.test_case "abc vector" `Quick sha_abc;
+          Alcotest.test_case "two-block vector" `Quick sha_two_blocks;
+          Alcotest.test_case "million-a vector" `Slow sha_million_a;
+          Alcotest.test_case "digest length" `Quick sha_length;
+          qcheck sha_streaming_equals_oneshot;
+          qcheck sha_distinct_inputs ] );
+      ( "hmac",
+        [ Alcotest.test_case "rfc4231 case 1" `Quick hmac_case1;
+          Alcotest.test_case "rfc4231 case 2" `Quick hmac_case2;
+          Alcotest.test_case "long key" `Quick hmac_long_key;
+          qcheck hmac_verify_roundtrip;
+          qcheck hmac_verify_rejects_tamper ] );
+      ( "modarith",
+        [ Alcotest.test_case "mulmod small reference" `Quick mulmod_matches_small;
+          Alcotest.test_case "mulmod large" `Quick mulmod_large_no_overflow;
+          Alcotest.test_case "fermat" `Quick powmod_fermat;
+          Alcotest.test_case "miller-rabin knowns" `Quick miller_rabin_known;
+          Alcotest.test_case "safe prime properties" `Quick safe_prime_properties;
+          Alcotest.test_case "safe prime deterministic" `Quick safe_prime_deterministic;
+          qcheck inv_mod_works ] );
+      ( "dh",
+        [ Alcotest.test_case "params sane" `Quick dh_params_sane;
+          Alcotest.test_case "public validation" `Quick dh_validation;
+          Alcotest.test_case "derive separates" `Quick dh_derive_key_separates;
+          qcheck dh_agreement;
+          qcheck dh_encode_roundtrip ] );
+      ( "prf",
+        [ Alcotest.test_case "deterministic" `Quick prf_deterministic;
+          Alcotest.test_case "label separation" `Quick prf_label_separation;
+          qcheck prf_channel_hop_range;
+          qcheck prf_keystream_length ] );
+      ( "cipher",
+        [ Alcotest.test_case "rejects tamper" `Quick cipher_rejects_tamper;
+          Alcotest.test_case "hides plaintext" `Quick cipher_hides_plaintext;
+          qcheck cipher_roundtrip;
+          qcheck cipher_rejects_wrong_key;
+          qcheck cipher_wire_roundtrip;
+          qcheck cipher_decode_garbage ] ) ]

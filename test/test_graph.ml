@@ -1,0 +1,201 @@
+(* Tests for the graph substrate: digraphs, vertex covers (the measure of
+   disruptability), the leader spanner, and workload generators. *)
+
+module Digraph = Rgraph.Digraph
+module Vertex_cover = Rgraph.Vertex_cover
+module Spanner = Rgraph.Spanner
+module Workload = Rgraph.Workload
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let edge = Alcotest.(pair int int)
+
+(* Random small digraph generator for properties. *)
+let graph_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 9 in
+    let* density = int_range 1 3 in
+    let* seed = int_range 0 10000 in
+    let rng = Prng.Rng.create (Int64.of_int seed) in
+    let edges = ref [] in
+    for v = 0 to n - 1 do
+      for w = 0 to n - 1 do
+        if v <> w && Prng.Rng.int rng 4 < density then edges := (v, w) :: !edges
+      done
+    done;
+    return !edges)
+
+let arb_graph = QCheck.make ~print:(fun es -> QCheck.Print.(list (pair int int)) es) graph_gen
+
+(* -- Digraph -- *)
+
+let digraph_basics () =
+  let g = Digraph.of_edges [ (1, 2); (2, 3); (1, 2) ] in
+  check Alcotest.int "duplicates collapse" 2 (Digraph.edge_count g);
+  check Alcotest.bool "mem" true (Digraph.mem_edge g (1, 2));
+  check Alcotest.bool "not mem" false (Digraph.mem_edge g (2, 1));
+  let g = Digraph.remove_edge g (1, 2) in
+  check Alcotest.int "removal" 1 (Digraph.edge_count g);
+  check (Alcotest.list edge) "edges sorted" [ (2, 3) ] (Digraph.edges g)
+
+let digraph_rejects_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Digraph: self-loop") (fun () ->
+      ignore (Digraph.of_edges [ (1, 1) ]))
+
+let digraph_rejects_negative () =
+  Alcotest.check_raises "negative id" (Invalid_argument "Digraph: negative node id") (fun () ->
+      ignore (Digraph.of_edges [ (-1, 2) ]))
+
+let digraph_queries () =
+  let g = Digraph.of_edges [ (0, 1); (0, 2); (3, 1) ] in
+  check (Alcotest.list Alcotest.int) "vertices" [ 0; 1; 2; 3 ] (Digraph.vertices g);
+  check (Alcotest.list Alcotest.int) "sources" [ 0; 3 ] (Digraph.sources g);
+  check (Alcotest.list edge) "out edges" [ (0, 1); (0, 2) ] (Digraph.out_edges g 0);
+  check (Alcotest.list edge) "in edges" [ (0, 1); (3, 1) ] (Digraph.in_edges g 1);
+  check Alcotest.int "out degree" 2 (Digraph.out_degree g 0);
+  check Alcotest.bool "has outgoing" true (Digraph.has_outgoing g 3);
+  check Alcotest.bool "no outgoing" false (Digraph.has_outgoing g 1)
+
+(* -- Vertex cover -- *)
+
+let vc_known_graphs () =
+  let cases =
+    [ ("triangle", [ (0, 1); (1, 2); (2, 0) ], 2);
+      ("K4", Workload.complete ~n:4, 3);
+      ("star-out", Workload.star ~n:6 ~hub:0, 1);
+      ("path", [ (0, 1); (1, 2); (2, 3); (3, 4) ], 2);
+      ("two disjoint edges", [ (0, 1); (2, 3) ], 2);
+      ("empty", [], 0) ]
+  in
+  List.iter
+    (fun (name, edges, expected) ->
+      check Alcotest.int name expected (Vertex_cover.minimum_size (Digraph.of_edges edges)))
+    cases
+
+let vc_minimum_is_cover =
+  QCheck.Test.make ~name:"minimum is a cover" ~count:200 arb_graph (fun edges ->
+      let g = Digraph.of_edges edges in
+      Vertex_cover.is_cover g (Vertex_cover.minimum g))
+
+let vc_greedy_within_2x =
+  QCheck.Test.make ~name:"greedy within 2x of optimum" ~count:150 arb_graph (fun edges ->
+      let g = Digraph.of_edges edges in
+      let greedy = Vertex_cover.greedy_2approx g in
+      Vertex_cover.is_cover g greedy
+      && List.length greedy <= 2 * Vertex_cover.minimum_size g)
+
+let vc_at_most_consistent =
+  QCheck.Test.make ~name:"at_most agrees with minimum" ~count:150 arb_graph (fun edges ->
+      let g = Digraph.of_edges edges in
+      let m = Vertex_cover.minimum_size g in
+      Vertex_cover.at_most g m && ((m = 0) || not (Vertex_cover.at_most g (m - 1))))
+
+let vc_is_cover_negative () =
+  let g = Digraph.of_edges [ (0, 1); (2, 3) ] in
+  check Alcotest.bool "partial set is not a cover" false (Vertex_cover.is_cover g [ 0 ])
+
+(* -- Spanner -- *)
+
+let spanner_pair_count () =
+  (* All ordered pairs with at least one endpoint among t+1 leaders:
+     2(t+1)(n-t-1) cross pairs plus (t+1)t intra-leader pairs. *)
+  List.iter
+    (fun (n, t) ->
+      let expected = (2 * (t + 1) * (n - t - 1)) + ((t + 1) * t) in
+      check Alcotest.int
+        (Printf.sprintf "count n=%d t=%d" n t)
+        expected
+        (List.length (Spanner.pairs ~n ~t)))
+    [ (10, 1); (12, 2); (20, 3) ]
+
+let spanner_leaders () =
+  check (Alcotest.list Alcotest.int) "leaders" [ 0; 1; 2 ] (Spanner.leaders ~t:2)
+
+let spanner_survives_all_t_removals () =
+  (* Exhaustive for t=1: removing any single node leaves it connected. *)
+  let n = 8 and t = 1 in
+  for v = 0 to n - 1 do
+    check Alcotest.bool
+      (Printf.sprintf "remove %d" v)
+      true
+      (Spanner.survives_removal ~n ~t ~removed:[ v ])
+  done
+
+let spanner_survives_sampled_removals () =
+  let n = 12 and t = 2 in
+  let rng = Prng.Rng.create 15L in
+  for _ = 1 to 30 do
+    let removed = Prng.Rng.sample_without_replacement rng t (List.init n Fun.id) in
+    check Alcotest.bool "survives t removals" true (Spanner.survives_removal ~n ~t ~removed)
+  done
+
+let spanner_dies_when_all_leaders_and_cut () =
+  (* Removing all t+1 leaders disconnects everything (non-leaders have no
+     mutual edges). *)
+  let n = 8 and t = 1 in
+  check Alcotest.bool "removing both leaders disconnects" false
+    (Spanner.survives_removal ~n ~t ~removed:[ 0; 1 ])
+
+(* -- Workloads -- *)
+
+let workload_disjoint () =
+  let pairs = Workload.disjoint_pairs ~n:10 ~count:5 in
+  check Alcotest.int "count" 5 (List.length pairs);
+  let nodes = List.concat_map (fun (v, w) -> [ v; w ]) pairs in
+  check Alcotest.int "all nodes distinct" 10 (List.length (List.sort_uniq compare nodes))
+
+let workload_complete () =
+  check Alcotest.int "n(n-1) ordered pairs" 20 (List.length (Workload.complete ~n:5))
+
+let workload_complete_on () =
+  let pairs = Workload.complete_on [ 3; 5; 9 ] in
+  check Alcotest.int "count" 6 (List.length pairs);
+  check Alcotest.bool "contains" true (List.mem (5, 9) pairs)
+
+let workload_star () =
+  let pairs = Workload.star ~n:5 ~hub:2 in
+  check Alcotest.int "count" 4 (List.length pairs);
+  List.iter (fun (v, _) -> check Alcotest.int "hub is source" 2 v) pairs
+
+let workload_random_distinct =
+  QCheck.Test.make ~name:"random pairs distinct" ~count:100
+    QCheck.(pair small_int (int_range 2 10))
+    (fun (seed, n) ->
+      let count = min 5 (n * (n - 1)) in
+      let pairs = Workload.random_pairs (Prng.Rng.create (Int64.of_int seed)) ~n ~count in
+      List.length pairs = count
+      && List.length (List.sort_uniq compare pairs) = count
+      && List.for_all (fun (v, w) -> v <> w && v < n && w < n) pairs)
+
+let workload_bidirectional () =
+  let pairs = Workload.bidirectional [ (1, 2); (3, 4) ] in
+  check Alcotest.int "closure" 4 (List.length pairs);
+  check Alcotest.bool "reverse present" true (List.mem (2, 1) pairs)
+
+let () =
+  Alcotest.run "graph"
+    [ ( "digraph",
+        [ Alcotest.test_case "basics" `Quick digraph_basics;
+          Alcotest.test_case "rejects self-loops" `Quick digraph_rejects_self_loop;
+          Alcotest.test_case "rejects negative ids" `Quick digraph_rejects_negative;
+          Alcotest.test_case "queries" `Quick digraph_queries ] );
+      ( "vertex-cover",
+        [ Alcotest.test_case "known graphs" `Quick vc_known_graphs;
+          Alcotest.test_case "is_cover negative" `Quick vc_is_cover_negative;
+          qcheck vc_minimum_is_cover;
+          qcheck vc_greedy_within_2x;
+          qcheck vc_at_most_consistent ] );
+      ( "spanner",
+        [ Alcotest.test_case "pair count" `Quick spanner_pair_count;
+          Alcotest.test_case "leaders" `Quick spanner_leaders;
+          Alcotest.test_case "survives any single removal" `Quick spanner_survives_all_t_removals;
+          Alcotest.test_case "survives sampled t removals" `Quick spanner_survives_sampled_removals;
+          Alcotest.test_case "leaders are the cut" `Quick spanner_dies_when_all_leaders_and_cut ] );
+      ( "workload",
+        [ Alcotest.test_case "disjoint pairs" `Quick workload_disjoint;
+          Alcotest.test_case "complete" `Quick workload_complete;
+          Alcotest.test_case "complete_on" `Quick workload_complete_on;
+          Alcotest.test_case "star" `Quick workload_star;
+          Alcotest.test_case "bidirectional" `Quick workload_bidirectional;
+          qcheck workload_random_distinct ] ) ]

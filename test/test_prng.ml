@@ -1,0 +1,205 @@
+(* Tests for the deterministic PRNG substrate: every protocol and experiment
+   depends on these streams being reproducible, well-ranged, and reasonably
+   uniform. *)
+
+module Rng = Prng.Rng
+module Splitmix64 = Prng.Splitmix64
+module Xoshiro = Prng.Xoshiro
+module Pcg32 = Prng.Pcg32
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* -- SplitMix64 -- *)
+
+let splitmix_deterministic () =
+  let a = Splitmix64.create 42L and b = Splitmix64.create 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Splitmix64.next a) (Splitmix64.next b)
+  done
+
+let splitmix_seed_sensitivity () =
+  let a = Splitmix64.create 1L and b = Splitmix64.create 2L in
+  let distinct = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Splitmix64.next a) (Splitmix64.next b)) then distinct := true
+  done;
+  check Alcotest.bool "streams differ" true !distinct
+
+let splitmix_copy_independent () =
+  let a = Splitmix64.create 7L in
+  ignore (Splitmix64.next a);
+  let b = Splitmix64.copy a in
+  check Alcotest.int64 "copies agree" (Splitmix64.next a) (Splitmix64.next b);
+  ignore (Splitmix64.next a);
+  (* b is one draw behind now; advancing b must reproduce a's last value *)
+  ignore (Splitmix64.next b);
+  check Alcotest.int64 "lockstep maintained" (Splitmix64.next a) (Splitmix64.next b)
+
+let splitmix_mix_pure () =
+  check Alcotest.int64 "mix is a pure function" (Splitmix64.mix 123L) (Splitmix64.mix 123L)
+
+let splitmix_next_in_bounds =
+  QCheck.Test.make ~name:"splitmix next_in stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Splitmix64.create (Int64.of_int seed) in
+      let v = Splitmix64.next_in g bound in
+      v >= 0 && v < bound)
+
+(* -- Xoshiro -- *)
+
+let xoshiro_deterministic () =
+  let a = Xoshiro.create 99L and b = Xoshiro.create 99L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Xoshiro.next a) (Xoshiro.next b)
+  done
+
+let xoshiro_jump_disjoint () =
+  let a = Xoshiro.create 5L in
+  let b = Xoshiro.copy a in
+  Xoshiro.jump b;
+  let overlap = ref false in
+  let from_a = List.init 50 (fun _ -> Xoshiro.next a) in
+  for _ = 1 to 50 do
+    if List.mem (Xoshiro.next b) from_a then overlap := true
+  done;
+  check Alcotest.bool "jumped stream does not collide" false !overlap
+
+let xoshiro_distribution () =
+  (* Coarse uniformity: bucket 64k draws into 16 buckets; each within 20%
+     of the expectation.  A systematic bias would blow well past this. *)
+  let g = Xoshiro.create 1234L in
+  let buckets = Array.make 16 0 in
+  let draws = 65536 in
+  for _ = 1 to draws do
+    let v = Int64.to_int (Int64.shift_right_logical (Xoshiro.next g) 60) in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  let expect = draws / 16 in
+  Array.iteri
+    (fun i count ->
+      if abs (count - expect) > expect / 5 then
+        Alcotest.failf "bucket %d has %d, expected about %d" i count expect)
+    buckets
+
+(* -- PCG32 -- *)
+
+let pcg_deterministic () =
+  let a = Pcg32.create 77L and b = Pcg32.create 77L in
+  for _ = 1 to 100 do
+    check Alcotest.int32 "same stream" (Pcg32.next a) (Pcg32.next b)
+  done
+
+let pcg_streams_differ () =
+  let a = Pcg32.create ~stream:1L 7L and b = Pcg32.create ~stream:2L 7L in
+  let distinct = ref false in
+  for _ = 1 to 10 do
+    if not (Int32.equal (Pcg32.next a) (Pcg32.next b)) then distinct := true
+  done;
+  check Alcotest.bool "streams differ" true !distinct
+
+let pcg_next_in_bounds =
+  QCheck.Test.make ~name:"pcg next_in stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 100000))
+    (fun (seed, bound) ->
+      let g = Pcg32.create (Int64.of_int seed) in
+      let v = Pcg32.next_in g bound in
+      v >= 0 && v < bound)
+
+(* -- Rng facade -- *)
+
+let rng_deterministic () =
+  let a = Rng.create 3L and b = Rng.create 3L in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let rng_split_at_stable () =
+  let parent = Rng.create 11L in
+  let c1 = Rng.split_at parent 5 and c2 = Rng.split_at parent 5 in
+  check Alcotest.int64 "same label, same child stream" (Rng.bits64 c1) (Rng.bits64 c2);
+  let c3 = Rng.split_at parent 6 in
+  check Alcotest.bool "different label differs" true
+    (not (Int64.equal (Rng.bits64 (Rng.split_at parent 5)) (Rng.bits64 c3)))
+
+let rng_split_does_not_disturb_split_at () =
+  let p1 = Rng.create 21L and p2 = Rng.create 21L in
+  ignore (Rng.split p1);
+  (* split_at keys off the base seed, so consuming p1 does not change it *)
+  check Alcotest.int64 "split_at unaffected by draws"
+    (Rng.bits64 (Rng.split_at p1 3))
+    (Rng.bits64 (Rng.split_at p2 3))
+
+let rng_int_bounds =
+  QCheck.Test.make ~name:"rng int stays in range" ~count:1000
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let g = Rng.create (Int64.of_int seed) in
+      let v = Rng.int g bound in
+      v >= 0 && v < bound)
+
+let rng_int_in_bounds =
+  QCheck.Test.make ~name:"rng int_in inclusive range" ~count:500
+    QCheck.(triple small_int (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, span) ->
+      let g = Rng.create (Int64.of_int seed) in
+      let v = Rng.int_in g lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let rng_float_range =
+  QCheck.Test.make ~name:"rng float in [0,1)" ~count:500 QCheck.small_int (fun seed ->
+      let g = Rng.create (Int64.of_int seed) in
+      let f = Rng.float g in
+      f >= 0.0 && f < 1.0)
+
+let rng_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle permutes" ~count:200
+    QCheck.(pair small_int (list_of_size (Gen.int_range 0 30) int))
+    (fun (seed, xs) ->
+      let g = Rng.create (Int64.of_int seed) in
+      let arr = Array.of_list xs in
+      Rng.shuffle g arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+let rng_sample_without_replacement () =
+  let g = Rng.create 8L in
+  let xs = List.init 20 Fun.id in
+  let s = Rng.sample_without_replacement g 7 xs in
+  check Alcotest.int "sample size" 7 (List.length s);
+  check Alcotest.int "distinct" 7 (List.length (List.sort_uniq compare s));
+  List.iter (fun x -> check Alcotest.bool "member" true (List.mem x xs)) s
+
+let rng_pick_member =
+  QCheck.Test.make ~name:"pick returns a member" ~count:300
+    QCheck.(pair small_int (list_of_size (Gen.int_range 1 20) int))
+    (fun (seed, xs) ->
+      let g = Rng.create (Int64.of_int seed) in
+      List.mem (Rng.pick_list g xs) xs)
+
+let () =
+  Alcotest.run "prng"
+    [ ( "splitmix64",
+        [ Alcotest.test_case "deterministic" `Quick splitmix_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick splitmix_seed_sensitivity;
+          Alcotest.test_case "copy independence" `Quick splitmix_copy_independent;
+          Alcotest.test_case "mix pure" `Quick splitmix_mix_pure;
+          qcheck splitmix_next_in_bounds ] );
+      ( "xoshiro",
+        [ Alcotest.test_case "deterministic" `Quick xoshiro_deterministic;
+          Alcotest.test_case "jump disjoint" `Quick xoshiro_jump_disjoint;
+          Alcotest.test_case "distribution" `Quick xoshiro_distribution ] );
+      ( "pcg32",
+        [ Alcotest.test_case "deterministic" `Quick pcg_deterministic;
+          Alcotest.test_case "streams differ" `Quick pcg_streams_differ;
+          qcheck pcg_next_in_bounds ] );
+      ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "split_at stable" `Quick rng_split_at_stable;
+          Alcotest.test_case "split_at base-keyed" `Quick rng_split_does_not_disturb_split_at;
+          Alcotest.test_case "sample without replacement" `Quick rng_sample_without_replacement;
+          qcheck rng_int_bounds;
+          qcheck rng_int_in_bounds;
+          qcheck rng_float_range;
+          qcheck rng_shuffle_is_permutation;
+          qcheck rng_pick_member ] ) ]
