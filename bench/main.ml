@@ -1,10 +1,14 @@
 (* Benchmark harness.
 
    Usage:
-     dune exec bench/main.exe              -- all experiment tables + micro
-     dune exec bench/main.exe -- quick     -- smaller grids
-     dune exec bench/main.exe -- e4        -- one experiment
-     dune exec bench/main.exe -- micro     -- Bechamel micro-benchmarks only
+     dune exec bench/main.exe                 -- all experiment tables + micro
+     dune exec bench/main.exe -- quick        -- smaller grids
+     dune exec bench/main.exe -- e4 e16       -- selected experiments
+     dune exec bench/main.exe -- micro        -- Bechamel micro-benchmarks only
+     dune exec bench/main.exe -- quick --jobs 4 --json BENCH.json
+
+   --jobs N   worker domains for the parallel experiment runner
+   --json P   write structured results + per-experiment wall-clock to P
 
    Each experiment table regenerates one exhibit of the paper (Figure 3's
    three rows, plus the theorem-level claims); see EXPERIMENTS.md for the
@@ -109,26 +113,83 @@ let run_micro () =
         analyzed)
     (micro_tests ())
 
-let run_experiment ~quick (e : Experiments.Registry.experiment) =
-  Format.printf "@.### %s: %s@." e.Experiments.Registry.id e.Experiments.Registry.title;
-  e.Experiments.Registry.run ~quick Format.std_formatter;
+let render_outcome (o : Experiments.Runner.outcome) =
+  Format.printf "@.### %s: %s@." o.experiment.Experiments.Registry.id
+    o.experiment.Experiments.Registry.title;
+  Experiments.Runner.render Format.std_formatter o;
   Format.print_flush ()
 
+let timing_summary outcomes =
+  print_newline ();
+  print_endline "== Experiment wall-clock summary ==";
+  List.iter
+    (fun (o : Experiments.Runner.outcome) ->
+      Printf.printf "  %-4s %8.2fs  %12d simulated rounds\n"
+        o.Experiments.Runner.experiment.Experiments.Registry.id o.wall_s
+        o.result.Experiments.Common.total_rounds)
+    outcomes;
+  Printf.printf "  total %7.2fs\n"
+    (List.fold_left (fun acc (o : Experiments.Runner.outcome) -> acc +. o.wall_s) 0.0 outcomes)
+
+type cli = {
+  quick : bool;
+  micro : bool;
+  jobs : int;
+  json : string option;
+  ids : string list;
+}
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [quick] [micro] [ID...] [--jobs N] [--json PATH]\navailable: %s, micro\n"
+    (String.concat ", " Experiments.Registry.ids);
+  exit 1
+
+let parse_args args =
+  let rec go acc = function
+    | [] -> acc
+    | "quick" :: rest -> go { acc with quick = true } rest
+    | "micro" :: rest -> go { acc with micro = true } rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some jobs when jobs >= 1 -> go { acc with jobs } rest
+       | _ -> usage ())
+    | "--json" :: path :: rest -> go { acc with json = Some path } rest
+    | id :: rest ->
+      if Experiments.Registry.find id = None then usage ()
+      else go { acc with ids = acc.ids @ [ id ] } rest
+  in
+  go
+    { quick = false; micro = false; jobs = Parallel.default_jobs (); json = None; ids = [] }
+    args
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [ "micro" ] -> run_micro ()
-  | [] | [ "quick" ] ->
-    let quick = args = [ "quick" ] in
-    List.iter (run_experiment ~quick) Experiments.Registry.all;
-    run_micro ()
-  | ids ->
-    List.iter
-      (fun id ->
-        match Experiments.Registry.find id with
-        | Some e -> run_experiment ~quick:false e
-        | None ->
-          Printf.eprintf "unknown experiment %S; available: %s, micro\n" id
-            (String.concat ", " Experiments.Registry.ids);
-          exit 1)
-      ids
+  let cli = parse_args (List.tl (Array.to_list Sys.argv)) in
+  (* Bare `main.exe` (or just `quick`) keeps the historical behavior: every
+     experiment table, then the micro-benchmarks.  `micro` alone skips the
+     tables; explicit ids skip micro unless it is also requested. *)
+  let run_experiments = cli.ids <> [] || not cli.micro in
+  let run_micro_too = cli.micro || cli.ids = [] in
+  if run_experiments then begin
+    let experiments =
+      match cli.ids with
+      | [] -> Experiments.Registry.all
+      | ids -> List.filter_map Experiments.Registry.find ids
+    in
+    let outcomes =
+      Experiments.Runner.run_many ~quick:cli.quick ~jobs:cli.jobs experiments
+    in
+    List.iter render_outcome outcomes;
+    timing_summary outcomes;
+    match cli.json with
+    | Some path -> (
+      match
+        Experiments.Runner.write_json ~path ~quick:cli.quick ~jobs:cli.jobs outcomes
+      with
+      | () -> Printf.printf "structured results written to %s\n" path
+      | exception Sys_error msg ->
+        Printf.eprintf "cannot write --json results: %s\n" msg;
+        exit 1)
+    | None -> ()
+  end;
+  if run_micro_too then run_micro ()

@@ -128,26 +128,79 @@ let game_cmd =
     Term.(const run $ seed_arg $ t_arg $ nodes_arg $ referee_arg)
 
 let experiment_cmd =
-  let id_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e1..e12).")
+  let ids_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"ID"
+          ~doc:"Experiment ids (e1..e17), or 'all' for the full registry.")
   in
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smaller parameter grid.")
   in
-  let run id quick =
-    match Experiments.Registry.find id with
-    | Some e ->
-      Format.printf "%s: %s@." e.Experiments.Registry.id e.Experiments.Registry.title;
-      e.Experiments.Registry.run ~quick Format.std_formatter;
-      `Ok ()
-    | None ->
-      `Error
-        (false,
-         Printf.sprintf "unknown experiment %S; available: %s" id
-           (String.concat ", " Experiments.Registry.ids))
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int (Parallel.default_jobs ())
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the parallel runner (default: the \
+             recommended domain count).  Output is byte-identical for \
+             every N.")
   in
-  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a paper experiment table.")
-    Term.(ret (const run $ id_arg $ quick_arg))
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write structured results (tables as data, per-experiment \
+                wall-clock metrics) to $(docv).")
+  in
+  let run ids quick jobs json =
+    let resolve id =
+      match Experiments.Registry.find id with
+      | Some e -> Ok e
+      | None ->
+        Error
+          (Printf.sprintf "unknown experiment %S; available: %s" id
+             (String.concat ", " Experiments.Registry.ids))
+    in
+    let experiments =
+      if ids = [ "all" ] then Ok Experiments.Registry.all
+      else
+        List.fold_right
+          (fun id acc ->
+            match (resolve id, acc) with
+            | Ok e, Ok es -> Ok (e :: es)
+            | Error m, _ | _, Error m -> Error m)
+          ids (Ok [])
+    in
+    match experiments with
+    | Error msg -> `Error (false, msg)
+    | Ok experiments ->
+      let outcomes = Experiments.Runner.run_many ~quick ~jobs experiments in
+      List.iter
+        (fun (o : Experiments.Runner.outcome) ->
+          Format.printf "%s: %s@." o.experiment.Experiments.Registry.id
+            o.experiment.Experiments.Registry.title;
+          Experiments.Runner.render Format.std_formatter o;
+          (* Timing goes to stderr so stdout stays independent of machine
+             speed and --jobs. *)
+          Printf.eprintf "[%s] %.2fs wall-clock, %d simulated rounds\n%!"
+            o.experiment.Experiments.Registry.id o.wall_s
+            o.result.Experiments.Common.total_rounds)
+        outcomes;
+      (match json with
+       | None -> `Ok ()
+       | Some path -> (
+         match Experiments.Runner.write_json ~path ~quick ~jobs outcomes with
+         | () ->
+           Printf.eprintf "structured results written to %s\n%!" path;
+           `Ok ()
+         | exception Sys_error msg ->
+           `Error (false, Printf.sprintf "cannot write --json results: %s" msg)))
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate paper experiment tables.")
+    Term.(ret (const run $ ids_arg $ quick_arg $ jobs_arg $ json_arg))
 
 let rekey_cmd =
   let compromised_arg =

@@ -83,7 +83,7 @@ type group_key_report = {
 
 let establish_group_key ?(seed = 1L) ~t ~n ~attack () =
   let channels = t + 1 in
-  let cfg = Radio.Config.make ~seed ~n ~channels ~t ~max_rounds:20_000_000 () in
+  let cfg = Radio.Config.make ~seed ~n ~channels ~t ~max_rounds:Radio.Config.default_max_rounds () in
   let outcome =
     Groupkey.Protocol.run ~cfg
       ~fame_adversary:(adversary_for ~attack ~channels ~budget:t ~seed)

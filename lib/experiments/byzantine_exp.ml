@@ -1,15 +1,9 @@
-let e13 ~quick fmt =
-  Format.fprintf fmt
-    "@.== E13 / Section 8 open question 1: corrupted surrogates vs direct exchange ==@.";
-  Format.fprintf fmt
-    "two attacks: forging relayed vectors (poisons f-AME, direct immune) and lying in@.";
-  Format.fprintf fmt
-    "feedback (breaks f-AME agreement -- why Byzantine t-disruptability stays open)@.@.";
+let e13 ~quick ~jobs =
   let t = 1 in
   let channels = t + 1 in
   let corruption_levels = if quick then [ 4 ] else [ 0; 2; 4; 8 ] in
-  let rows =
-    List.concat_map
+  let outcomes =
+    Parallel.map_ordered ~jobs
       (fun corrupt_count ->
         (* Two sources fan out to 20..25.  With t = 1 both sources are
            starred in the first game move, so watcher (and therefore
@@ -22,7 +16,7 @@ let e13 ~quick fmt =
         let n = 30 in
         let cfg =
           Radio.Config.make ~n ~channels ~t ~seed:(Int64.of_int (7 + corrupt_count))
-            ~max_rounds:20_000_000 ()
+            ~max_rounds:Radio.Config.default_max_rounds ()
         in
         let forged delivered =
           List.length
@@ -46,15 +40,28 @@ let e13 ~quick fmt =
             string_of_int (forged o.Ame.Fame.delivered);
             string_of_bool o.Ame.Fame.diverged ]
         in
-        [ fame_row "f-AME/forging-surrogates" forging;
-          fame_row "f-AME/lying-witnesses" lying;
-          [ "direct"; string_of_int corrupt_count;
-            string_of_int (List.length direct.Ame.Direct.delivered);
-            string_of_int (forged direct.Ame.Direct.delivered);
-            string_of_bool direct.Ame.Direct.diverged ] ])
+        ( [ fame_row "f-AME/forging-surrogates" forging;
+            fame_row "f-AME/lying-witnesses" lying;
+            [ "direct"; string_of_int corrupt_count;
+              string_of_int (List.length direct.Ame.Direct.delivered);
+              string_of_int (forged direct.Ame.Direct.delivered);
+              string_of_bool direct.Ame.Direct.diverged ] ],
+          forging.Ame.Fame.engine.Radio.Engine.rounds_used
+          + lying.Ame.Fame.engine.Radio.Engine.rounds_used
+          + direct.Ame.Direct.engine.Radio.Engine.rounds_used ))
       corruption_levels
   in
-  Common.fmt_table fmt
-    ~header:
-      [ "protocol/attack"; "corrupted"; "delivered"; "forged accepted"; "agreement broken" ]
-    rows
+  Common.result ~total_rounds:(List.fold_left (fun acc (_, r) -> acc + r) 0 outcomes)
+    [ Common.Blank;
+      Common.text
+        "== E13 / Section 8 open question 1: corrupted surrogates vs direct exchange ==";
+      Common.text
+        "two attacks: forging relayed vectors (poisons f-AME, direct immune) and lying in";
+      Common.text
+        "feedback (breaks f-AME agreement -- why Byzantine t-disruptability stays open)";
+      Common.Blank;
+      Common.table
+        ~header:
+          [ "protocol/attack"; "corrupted"; "delivered"; "forged accepted";
+            "agreement broken" ]
+        (List.concat_map fst outcomes) ]

@@ -11,4 +11,4 @@
     against the direct baseline they can only garble their {e own} messages,
     so every honest-source delivery stays authentic. *)
 
-val e13 : quick:bool -> Format.formatter -> unit
+val e13 : quick:bool -> jobs:int -> Common.result

@@ -5,4 +5,4 @@
     key holders receive every broadcast with high probability, the <= t
     outsiders decode nothing, and no frame travels unencrypted. *)
 
-val e9 : quick:bool -> Format.formatter -> unit
+val e9 : quick:bool -> jobs:int -> Common.result

@@ -1,5 +1,25 @@
 let log2 x = log x /. log 2.0
 
+(* -- structured results ------------------------------------------------ *)
+
+type block =
+  | Text of string
+  | Blank
+  | Table of { header : string list; rows : string list list }
+
+type result = {
+  blocks : block list;
+  total_rounds : int;
+}
+
+let result ?(total_rounds = 0) blocks = { blocks; total_rounds }
+
+let text s = Text s
+
+let textf f = Printf.ksprintf (fun s -> Text s) f
+
+let table ~header rows = Table { header; rows }
+
 let fmt_table fmt ~header rows =
   let all = header :: rows in
   let cols = List.length header in
@@ -16,6 +36,20 @@ let fmt_table fmt ~header rows =
   print_row header;
   print_row (List.map (fun w -> String.make w '-') widths);
   List.iter print_row rows
+
+let render_block fmt = function
+  | Text s -> Format.fprintf fmt "%s@." s
+  | Blank -> Format.fprintf fmt "@."
+  | Table { header; rows } -> fmt_table fmt ~header rows
+
+let render fmt r = List.iter (render_block fmt) r.blocks
+
+let render_to_string r =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  render fmt r;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
 
 let mean = function
   | [] -> nan
@@ -50,7 +84,9 @@ type fame_point = {
 }
 
 let run_fame ?channels_used ?feedback_mode ?adversary ~seed ~n ~channels ~t ~pairs () =
-  let cfg = Radio.Config.make ~seed ~n ~channels ~t ~max_rounds:20_000_000 () in
+  let cfg =
+    Radio.Config.make ~seed ~n ~channels ~t ~max_rounds:Radio.Config.default_max_rounds ()
+  in
   let adversary =
     Option.value adversary ~default:(schedule_jam ~channels ~budget:t)
   in

@@ -3,6 +3,40 @@
 
 val log2 : float -> float
 
+(** {1 Structured results}
+
+    Experiments build a [result] — data, not prose — and rendering to the
+    historical text tables happens here, centrally.  Keeping the two apart
+    is what lets the runner fan experiments (and their replicates) out
+    across domains and still merge output byte-identically. *)
+
+type block =
+  | Text of string  (** one full line *)
+  | Blank  (** a blank line *)
+  | Table of { header : string list; rows : string list list }
+
+type result = {
+  blocks : block list;  (** rendered top to bottom *)
+  total_rounds : int;
+      (** simulated radio rounds consumed, summed over the experiment's
+          runs; [0] when the experiment has no natural round count *)
+}
+
+val result : ?total_rounds:int -> block list -> result
+
+val text : string -> block
+
+val textf : ('a, unit, string, block) format4 -> 'a
+(** [Printf]-style {!text}. *)
+
+val table : header:string list -> string list list -> block
+
+val render : Format.formatter -> result -> unit
+(** Render every block: [Text] lines, blank separators, and aligned ASCII
+    tables, exactly as the pre-structured experiments printed them. *)
+
+val render_to_string : result -> string
+
 val fmt_table : Format.formatter -> header:string list -> string list list -> unit
 (** Render rows as an aligned ASCII table. *)
 

@@ -12,10 +12,11 @@ let fame_row ~name ~t ~pairs ~adversary ~seed =
       (2 + List.fold_left (fun acc (v, w) -> max acc (max v w)) 0 pairs)
   in
   let p = Common.run_fame ~seed ~n ~channels ~t ~pairs ~adversary () in
-  [ "f-AME"; name; string_of_int t; string_of_int (List.length pairs);
-    string_of_int p.Common.delivered; string_of_int p.Common.failed;
-    (match p.Common.vc with Some v -> string_of_int v | None -> "-");
-    string_of_int t ]
+  ( [ "f-AME"; name; string_of_int t; string_of_int (List.length pairs);
+      string_of_int p.Common.delivered; string_of_int p.Common.failed;
+      (match p.Common.vc with Some v -> string_of_int v | None -> "-");
+      string_of_int t ],
+    p.Common.rounds )
 
 let direct_row ~name ~t ~pairs ~adversary ~seed =
   let channels = t + 1 in
@@ -23,49 +24,62 @@ let direct_row ~name ~t ~pairs ~adversary ~seed =
     max (Common.fame_nodes_for ~t ~channels_used:channels ~channels)
       (2 + List.fold_left (fun acc (v, w) -> max acc (max v w)) 0 pairs)
   in
-  let cfg = Radio.Config.make ~seed ~n ~channels ~t ~max_rounds:20_000_000 () in
+  let cfg =
+    Radio.Config.make ~seed ~n ~channels ~t ~max_rounds:Radio.Config.default_max_rounds ()
+  in
   let o =
     Ame.Direct.run ~cfg ~pairs ~messages:Common.default_messages ~adversary ()
   in
-  [ "direct"; name; string_of_int t; string_of_int (List.length pairs);
-    string_of_int (List.length o.Ame.Direct.delivered);
-    string_of_int (List.length o.Ame.Direct.failed);
-    (match o.Ame.Direct.disruption_vc with Some v -> string_of_int v | None -> "-");
-    string_of_int (2 * t) ]
+  ( [ "direct"; name; string_of_int t; string_of_int (List.length pairs);
+      string_of_int (List.length o.Ame.Direct.delivered);
+      string_of_int (List.length o.Ame.Direct.failed);
+      (match o.Ame.Direct.disruption_vc with Some v -> string_of_int v | None -> "-");
+      string_of_int (2 * t) ],
+    o.Ame.Direct.engine.Radio.Engine.rounds_used )
 
 let header = [ "protocol"; "adversary"; "t"; "|E|"; "delivered"; "failed"; "vc"; "bound" ]
 
-let e6 ~quick fmt =
-  Format.fprintf fmt "@.== E6 / Theorems 2+6: f-AME disruption cover <= t (optimal) ==@.@.";
+(* Each row is one protocol run with an explicit seed: an independent task
+   for the domain pool. *)
+let run_rows ~jobs specs =
+  let outcomes = Parallel.map_ordered ~jobs (fun spec -> spec ()) specs in
+  (List.map fst outcomes, List.fold_left (fun acc (_, r) -> acc + r) 0 outcomes)
+
+let e6 ~quick ~jobs =
   let ts = if quick then [ 2 ] else [ 1; 2; 3 ] in
-  let rows =
+  let specs =
     List.concat_map
       (fun t ->
         let channels = t + 1 in
         let n = Common.fame_nodes_for ~t ~channels_used:channels ~channels in
         let disjoint = Rgraph.Workload.disjoint_pairs ~n ~count:(4 * t) in
         let clustered = triangle_pairs ~t in
-        [ fame_row ~name:"schedule-jam" ~t ~pairs:disjoint
-            ~adversary:(Common.schedule_jam ~channels ~budget:t)
-            ~seed:(Int64.of_int (100 + t));
-          fame_row ~name:"random-jam" ~t ~pairs:disjoint
-            ~adversary:(fun _ -> Common.random_jam ~seed:(Int64.of_int (200 + t)) ~channels ~budget:t)
-            ~seed:(Int64.of_int (300 + t));
-          fame_row ~name:"triangle" ~t ~pairs:clustered
-            ~adversary:(fun board ->
-              Ame.Attacks.triangle_jammer board ~channels ~budget:t ~triple_of:(triple_of ~t))
-            ~seed:(Int64.of_int (400 + t)) ])
+        [ (fun () ->
+            fame_row ~name:"schedule-jam" ~t ~pairs:disjoint
+              ~adversary:(Common.schedule_jam ~channels ~budget:t)
+              ~seed:(Int64.of_int (100 + t)));
+          (fun () ->
+            fame_row ~name:"random-jam" ~t ~pairs:disjoint
+              ~adversary:(fun _ ->
+                Common.random_jam ~seed:(Int64.of_int (200 + t)) ~channels ~budget:t)
+              ~seed:(Int64.of_int (300 + t)));
+          (fun () ->
+            fame_row ~name:"triangle" ~t ~pairs:clustered
+              ~adversary:(fun board ->
+                Ame.Attacks.triangle_jammer board ~channels ~budget:t
+                  ~triple_of:(triple_of ~t))
+              ~seed:(Int64.of_int (400 + t))) ])
       ts
   in
-  Common.fmt_table fmt ~header rows
+  let rows, total_rounds = run_rows ~jobs specs in
+  Common.result ~total_rounds
+    [ Common.Blank;
+      Common.text "== E6 / Theorems 2+6: f-AME disruption cover <= t (optimal) ==";
+      Common.Blank; Common.table ~header rows ]
 
-let e12 ~quick fmt =
-  Format.fprintf fmt
-    "@.== E12 / ablation: surrogates on vs off under the triangle adversary ==@.";
-  Format.fprintf fmt
-    "direct exchange (no surrogates) is cornered into vertex cover 2t; f-AME stays at <= t@.@.";
+let e12 ~quick ~jobs =
   let ts = if quick then [ 2 ] else [ 1; 2; 3 ] in
-  let rows =
+  let specs =
     List.concat_map
       (fun t ->
         let channels = t + 1 in
@@ -73,8 +87,14 @@ let e12 ~quick fmt =
         let adversary board =
           Ame.Attacks.triangle_jammer board ~channels ~budget:t ~triple_of:(triple_of ~t)
         in
-        [ direct_row ~name:"triangle" ~t ~pairs ~adversary ~seed:(Int64.of_int (500 + t));
-          fame_row ~name:"triangle" ~t ~pairs ~adversary ~seed:(Int64.of_int (600 + t)) ])
+        [ (fun () -> direct_row ~name:"triangle" ~t ~pairs ~adversary ~seed:(Int64.of_int (500 + t)));
+          (fun () -> fame_row ~name:"triangle" ~t ~pairs ~adversary ~seed:(Int64.of_int (600 + t))) ])
       ts
   in
-  Common.fmt_table fmt ~header rows
+  let rows, total_rounds = run_rows ~jobs specs in
+  Common.result ~total_rounds
+    [ Common.Blank;
+      Common.text "== E12 / ablation: surrogates on vs off under the triangle adversary ==";
+      Common.text
+        "direct exchange (no surrogates) is cornered into vertex cover 2t; f-AME stays at <= t";
+      Common.Blank; Common.table ~header rows ]

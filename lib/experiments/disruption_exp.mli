@@ -9,6 +9,6 @@
     with vertex cover 2t — exactly the gap the paper's second insight
     closes. *)
 
-val e6 : quick:bool -> Format.formatter -> unit
+val e6 : quick:bool -> jobs:int -> Common.result
 
-val e12 : quick:bool -> Format.formatter -> unit
+val e12 : quick:bool -> jobs:int -> Common.result

@@ -1,12 +1,11 @@
-let e15 ~quick fmt =
-  Format.fprintf fmt "@.== E15 / related-work model: adversary with a total energy budget ==@.@.";
+let e15 ~quick ~jobs =
   let t = 2 in
   let channels = t + 1 in
   let n = Common.fame_nodes_for ~t ~channels_used:channels ~channels in
   let pairs = Rgraph.Workload.disjoint_pairs ~n ~count:8 in
   let budgets = if quick then [ 0; 100 ] else [ 0; 20; 50; 100; 200; 500; max_int ] in
-  let rows =
-    List.map
+  let outcomes =
+    Parallel.map_ordered ~jobs
       (fun total ->
         let adversary board =
           let inner =
@@ -19,12 +18,17 @@ let e15 ~quick fmt =
           Common.run_fame ~adversary ~seed:(Int64.of_int (total land 0xFFFF)) ~n ~channels ~t
             ~pairs ()
         in
-        [ (if total = max_int then "unbounded" else string_of_int total);
-          string_of_int p.Common.rounds; string_of_int p.Common.delivered;
-          string_of_int p.Common.failed;
-          (match p.Common.vc with Some v -> string_of_int v | None -> "-") ])
+        ( [ (if total = max_int then "unbounded" else string_of_int total);
+            string_of_int p.Common.rounds; string_of_int p.Common.delivered;
+            string_of_int p.Common.failed;
+            (match p.Common.vc with Some v -> string_of_int v | None -> "-") ],
+          p.Common.rounds ))
       budgets
   in
-  Common.fmt_table fmt
-    ~header:[ "energy budget"; "rounds"; "delivered"; "failed"; "vc (bound t=2)" ]
-    rows
+  Common.result ~total_rounds:(List.fold_left (fun acc (_, r) -> acc + r) 0 outcomes)
+    [ Common.Blank;
+      Common.text "== E15 / related-work model: adversary with a total energy budget ==";
+      Common.Blank;
+      Common.table
+        ~header:[ "energy budget"; "rounds"; "delivered"; "failed"; "vc (bound t=2)" ]
+        (List.map fst outcomes) ]

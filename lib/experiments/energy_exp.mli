@@ -8,4 +8,4 @@
     runs dry the protocol finishes every exchange the game can still
     propose. *)
 
-val e15 : quick:bool -> Format.formatter -> unit
+val e15 : quick:bool -> jobs:int -> Common.result

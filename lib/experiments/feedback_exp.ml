@@ -34,36 +34,45 @@ let agreement_trial ~beta ~t ~n ~seed =
   let agreed = Array.for_all (fun d -> d = truth_set) outputs in
   (agreed, result.Radio.Engine.rounds_used)
 
-let e5 ~quick fmt =
-  Format.fprintf fmt "@.== E5 / Lemma 5: communication-feedback agreement and cost ==@.";
-  Format.fprintf fmt
-    "per invocation: rounds = C * reps = Theta(t^2 log n); failures should vanish as beta grows@.@.";
+let e5 ~quick ~jobs =
   let betas = if quick then [ 0.25; 3.0 ] else [ 0.25; 0.5; 1.0; 2.0; 3.0 ] in
   let trials = if quick then 10 else 40 in
   let scenarios = if quick then [ (2, 30) ] else [ (1, 20); (2, 30); (3, 40) ] in
+  let total = ref 0 in
   let rows =
     List.concat_map
       (fun (t, n) ->
         List.map
           (fun beta ->
-            let failures = ref 0 and rounds = ref 0 in
-            for trial = 1 to trials do
-              let agreed, r =
-                agreement_trial ~beta ~t ~n ~seed:(Int64.of_int ((trial * 37) + (t * 1009)))
-              in
-              if not agreed then incr failures;
-              rounds := r
-            done;
+            (* Each trial is an independent replicate keyed by an explicit
+               seed, so the fan-out over domains cannot perturb results. *)
+            let outcomes =
+              Parallel.map_ordered ~jobs
+                (fun trial ->
+                  agreement_trial ~beta ~t ~n ~seed:(Int64.of_int ((trial * 37) + (t * 1009))))
+                (List.init trials (fun i -> i + 1))
+            in
+            let failures =
+              List.length (List.filter (fun (agreed, _) -> not agreed) outcomes)
+            in
+            let rounds = List.fold_left (fun _ (_, r) -> r) 0 outcomes in
+            total := !total + List.fold_left (fun acc (_, r) -> acc + r) 0 outcomes;
             let norm =
-              float_of_int !rounds
+              float_of_int rounds
               /. (float_of_int (t * t) *. Common.log2 (float_of_int n))
             in
             [ string_of_int t; string_of_int n; Printf.sprintf "%.2f" beta;
-              string_of_int !rounds; Printf.sprintf "%.2f" norm;
-              Printf.sprintf "%d/%d" !failures trials ])
+              string_of_int rounds; Printf.sprintf "%.2f" norm;
+              Printf.sprintf "%d/%d" failures trials ])
           betas)
       scenarios
   in
-  Common.fmt_table fmt
-    ~header:[ "t"; "n"; "beta"; "rounds"; "rounds/(t^2 lg n)"; "disagreements" ]
-    rows
+  Common.result ~total_rounds:!total
+    [ Common.Blank;
+      Common.text "== E5 / Lemma 5: communication-feedback agreement and cost ==";
+      Common.text
+        "per invocation: rounds = C * reps = Theta(t^2 log n); failures should vanish as beta grows";
+      Common.Blank;
+      Common.table
+        ~header:[ "t"; "n"; "beta"; "rounds"; "rounds/(t^2 lg n)"; "disagreements" ]
+        rows ]

@@ -7,7 +7,7 @@
     starving the routine (beta < 1) makes disagreement appear, as the
     Chernoff argument predicts. *)
 
-val e5 : quick:bool -> Format.formatter -> unit
+val e5 : quick:bool -> jobs:int -> Common.result
 
 val agreement_trial :
   beta:float -> t:int -> n:int -> seed:int64 -> bool * int

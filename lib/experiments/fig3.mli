@@ -5,11 +5,11 @@
     report measured rounds next to the claimed normalization — a flat
     normalized column reproduces the row's shape. *)
 
-val e1 : quick:bool -> Format.formatter -> unit
+val e1 : quick:bool -> jobs:int -> Common.result
 (** C = t+1: rounds / (|E| t^2 log n) should be near-constant. *)
 
-val e2 : quick:bool -> Format.formatter -> unit
+val e2 : quick:bool -> jobs:int -> Common.result
 (** C = 2t: rounds / (|E| log n) should be near-constant. *)
 
-val e3 : quick:bool -> Format.formatter -> unit
+val e3 : quick:bool -> jobs:int -> Common.result
 (** C = 2t^2 with tree feedback: rounds / (|E| log^2 n / t) near-constant. *)

@@ -1,4 +1,4 @@
 (** Experiment E4: Theorem 4 — greedy-removal solves the starred-edge
     removal game in O(|E|) moves, against every referee strategy. *)
 
-val e4 : quick:bool -> Format.formatter -> unit
+val e4 : quick:bool -> jobs:int -> Common.result

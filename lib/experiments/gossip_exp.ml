@@ -1,12 +1,11 @@
 let rumor i = Printf.sprintf "rumor-%d" i
 
-let e10 ~quick fmt =
-  Format.fprintf fmt "@.== E10 / gossip baseline [13] vs f-AME (t = 1, C = 2) ==@.@.";
+let e10 ~quick ~jobs =
   let t = 1 in
   let channels = 2 in
   let ns = if quick then [ 20 ] else [ 20; 28; 36; 44 ] in
-  let rows =
-    List.concat_map
+  let outcomes =
+    Parallel.map_ordered ~jobs
       (fun n ->
         (* Gossip under a spoofing adversary that plants fake rumors. *)
         let cfg = Radio.Config.make ~seed:(Int64.of_int n) ~n ~channels ~t () in
@@ -29,13 +28,17 @@ let e10 ~quick fmt =
         let p =
           Common.run_fame ~seed:(Int64.of_int (n + 1)) ~n ~channels ~t ~pairs ()
         in
-        [ [ "gossip"; string_of_int n; "all-to-all"; gossip_rounds;
-            string_of_int g.Ame.Gossip.fake_rumors_accepted ];
-          [ "f-AME"; string_of_int n;
-            Printf.sprintf "%d pairs" (List.length pairs); string_of_int p.Common.rounds;
-            "0" ] ])
+        ( [ [ "gossip"; string_of_int n; "all-to-all"; gossip_rounds;
+              string_of_int g.Ame.Gossip.fake_rumors_accepted ];
+            [ "f-AME"; string_of_int n;
+              Printf.sprintf "%d pairs" (List.length pairs); string_of_int p.Common.rounds;
+              "0" ] ],
+          g.Ame.Gossip.engine.Radio.Engine.rounds_used + p.Common.rounds ))
       ns
   in
-  Common.fmt_table fmt
-    ~header:[ "protocol"; "n"; "workload"; "rounds"; "fake payloads accepted" ]
-    rows
+  Common.result ~total_rounds:(List.fold_left (fun acc (_, r) -> acc + r) 0 outcomes)
+    [ Common.Blank; Common.text "== E10 / gossip baseline [13] vs f-AME (t = 1, C = 2) ==";
+      Common.Blank;
+      Common.table
+        ~header:[ "protocol"; "n"; "workload"; "rounds"; "fake payloads accepted" ]
+        (List.concat_map fst outcomes) ]

@@ -6,4 +6,4 @@
     (2) authenticity — gossip accepts spoofed rumors at face value, f-AME
     accepts none. *)
 
-val e10 : quick:bool -> Format.formatter -> unit
+val e10 : quick:bool -> jobs:int -> Common.result

@@ -4,4 +4,4 @@
     verifies the agreement guarantee: at least n - t nodes adopt one common
     key, nobody adopts a different one. *)
 
-val e8 : quick:bool -> Format.formatter -> unit
+val e8 : quick:bool -> jobs:int -> Common.result

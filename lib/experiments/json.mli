@@ -1,0 +1,16 @@
+(** A minimal JSON value and serializer (no external dependencies).
+
+    Only what the structured-results emitter needs: construction and
+    compact, always-valid printing.  Non-finite floats serialize as
+    [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string

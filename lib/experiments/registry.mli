@@ -4,7 +4,7 @@
 type experiment = {
   id : string;
   title : string;
-  run : quick:bool -> Format.formatter -> unit;
+  run : quick:bool -> jobs:int -> Common.result;
 }
 
 val all : experiment list

@@ -1,7 +1,42 @@
-let e16 ~quick fmt =
-  Format.fprintf fmt "@.== E16 / whp claims under repetition: worst case over many seeds ==@.@.";
+type trial_outcome = {
+  diverged : bool;
+  vc : int option;
+  delivered : int;
+  violations : int;
+  rounds : int;
+}
+
+let one_trial ~t ~adv_name ~n ~channels ~pairs ~trial =
+  let seed = Int64.of_int ((trial * 7919) + t) in
+  let cfg =
+    Radio.Config.make ~n ~channels ~t ~seed ~max_rounds:Radio.Config.default_max_rounds
+      ~record_transcript:true ()
+  in
+  let adversary board =
+    if adv_name = "random" then
+      Radio.Adversary.random_jammer
+        (Prng.Rng.create (Int64.of_int (trial * 13)))
+        ~channels ~budget:t
+    else
+      Ame.Attacks.schedule_jammer board ~channels ~budget:t
+        ~prefer:Ame.Attacks.Prefer_edges
+  in
+  let o = Ame.Fame.run ~cfg ~pairs ~messages:Common.default_messages ~adversary () in
+  { diverged = o.Ame.Fame.diverged;
+    vc = o.Ame.Fame.disruption_vc;
+    delivered = List.length o.Ame.Fame.delivered;
+    violations =
+      List.length
+        (Radio.Auditor.audit ~channels ~budget:t o.Ame.Fame.engine.Radio.Engine.transcript);
+    rounds = o.Ame.Fame.engine.Radio.Engine.rounds_used }
+
+let e16 ~quick ~jobs =
   let trials = if quick then 5 else 30 in
-  let configs = if quick then [ (1, "random") ] else [ (1, "random"); (1, "schedule"); (2, "random"); (2, "schedule") ] in
+  let configs =
+    if quick then [ (1, "random") ]
+    else [ (1, "random"); (1, "schedule"); (2, "random"); (2, "schedule") ]
+  in
+  let total = ref 0 in
   let rows =
     List.map
       (fun (t, adv_name) ->
@@ -12,47 +47,36 @@ let e16 ~quick fmt =
           + 4
         in
         let pairs = Rgraph.Workload.disjoint_pairs ~n ~count:(3 * t + 2) in
-        let worst_vc = ref 0 and divergences = ref 0 and audit_violations = ref 0 in
-        let delivered_total = ref 0 in
-        for trial = 1 to trials do
-          let seed = Int64.of_int ((trial * 7919) + t) in
-          let cfg =
-            Radio.Config.make ~n ~channels ~t ~seed ~max_rounds:20_000_000
-              ~record_transcript:true ()
-          in
-          let adversary board =
-            if adv_name = "random" then
-              Radio.Adversary.random_jammer
-                (Prng.Rng.create (Int64.of_int (trial * 13)))
-                ~channels ~budget:t
-            else
-              Ame.Attacks.schedule_jammer board ~channels ~budget:t
-                ~prefer:Ame.Attacks.Prefer_edges
-          in
-          let o =
-            Ame.Fame.run ~cfg ~pairs ~messages:Common.default_messages ~adversary ()
-          in
-          if o.Ame.Fame.diverged then incr divergences;
-          (match o.Ame.Fame.disruption_vc with
-           | Some vc -> worst_vc := max !worst_vc vc
-           | None -> ());
-          delivered_total := !delivered_total + List.length o.Ame.Fame.delivered;
-          audit_violations :=
-            !audit_violations
-            + List.length
-                (Radio.Auditor.audit ~channels ~budget:t
-                   o.Ame.Fame.engine.Radio.Engine.transcript)
-        done;
+        (* The whp sweep: every trial derives its RNG from an explicit seed,
+           so the worst-case fold below is independent of domain scheduling. *)
+        let outcomes =
+          Parallel.map_ordered ~jobs
+            (fun trial -> one_trial ~t ~adv_name ~n ~channels ~pairs ~trial)
+            (List.init trials (fun i -> i + 1))
+        in
+        let worst_vc =
+          List.fold_left (fun acc o -> match o.vc with Some v -> max acc v | None -> acc) 0
+            outcomes
+        in
+        let divergences =
+          List.length (List.filter (fun o -> o.diverged) outcomes)
+        in
+        let audit_violations = List.fold_left (fun acc o -> acc + o.violations) 0 outcomes in
+        let delivered_total = List.fold_left (fun acc o -> acc + o.delivered) 0 outcomes in
+        total := !total + List.fold_left (fun acc o -> acc + o.rounds) 0 outcomes;
         [ string_of_int t; adv_name; string_of_int trials;
-          string_of_int !worst_vc; string_of_int t;
-          Printf.sprintf "%d/%d" !divergences trials;
-          string_of_int !audit_violations;
-          Printf.sprintf "%.1f"
-            (float_of_int !delivered_total /. float_of_int trials) ])
+          string_of_int worst_vc; string_of_int t;
+          Printf.sprintf "%d/%d" divergences trials;
+          string_of_int audit_violations;
+          Printf.sprintf "%.1f" (float_of_int delivered_total /. float_of_int trials) ])
       configs
   in
-  Common.fmt_table fmt
-    ~header:
-      [ "t"; "adversary"; "trials"; "worst vc"; "bound"; "divergences"; "audit violations";
-        "avg delivered" ]
-    rows
+  Common.result ~total_rounds:!total
+    [ Common.Blank;
+      Common.text "== E16 / whp claims under repetition: worst case over many seeds ==";
+      Common.Blank;
+      Common.table
+        ~header:
+          [ "t"; "adversary"; "trials"; "worst vc"; "bound"; "divergences";
+            "audit violations"; "avg delivered" ]
+        rows ]

@@ -7,4 +7,4 @@
     transcript against the model rules — turning "whp" into a measured
     failure rate at the default repetition constants. *)
 
-val e16 : quick:bool -> Format.formatter -> unit
+val e16 : quick:bool -> jobs:int -> Common.result

@@ -1,0 +1,59 @@
+type outcome = {
+  experiment : Registry.experiment;
+  result : Common.result;
+  wall_s : float;
+}
+
+let run_one ~quick ~jobs (e : Registry.experiment) =
+  let result, wall_s = Parallel.Clock.time (fun () -> e.Registry.run ~quick ~jobs) in
+  { experiment = e; result; wall_s }
+
+let run_many ~quick ~jobs = function
+  | [ e ] -> [ run_one ~quick ~jobs e ]
+  | es ->
+    (* With several experiments the fan-out happens here, across
+       experiments; each one then runs its replicates serially (jobs:1) so
+       the domain budget is spent once, not squared.  map_ordered's merge
+       keeps the outcome order equal to the request order. *)
+    Parallel.map_ordered ~jobs (fun e -> run_one ~quick ~jobs:1 e) es
+
+let render fmt (o : outcome) = Common.render fmt o.result
+
+let json_of_outcome (o : outcome) =
+  let tables, notes =
+    List.fold_left
+      (fun (tables, notes) block ->
+        match block with
+        | Common.Table { header; rows } ->
+          let cells row = Json.List (List.map (fun c -> Json.String c) row) in
+          ( Json.Obj [ ("header", cells header); ("rows", Json.List (List.map cells rows)) ]
+            :: tables,
+            notes )
+        | Common.Text s -> (tables, Json.String s :: notes)
+        | Common.Blank -> (tables, notes))
+      ([], []) o.result.Common.blocks
+  in
+  Json.Obj
+    [ ("id", Json.String o.experiment.Registry.id);
+      ("title", Json.String o.experiment.Registry.title);
+      ("wall_s", Json.Float o.wall_s);
+      ("total_rounds", Json.Int o.result.Common.total_rounds);
+      ("tables", Json.List (List.rev tables));
+      ("notes", Json.List (List.rev notes)) ]
+
+let json_of_outcomes ~quick ~jobs outcomes =
+  Json.Obj
+    [ ("schema", Json.String "radio-experiments/v1");
+      ("quick", Json.Bool quick);
+      ("jobs", Json.Int jobs);
+      ( "total_wall_s",
+        Json.Float (List.fold_left (fun acc o -> acc +. o.wall_s) 0.0 outcomes) );
+      ("experiments", Json.List (List.map json_of_outcome outcomes)) ]
+
+let write_json ~path ~quick ~jobs outcomes =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (json_of_outcomes ~quick ~jobs outcomes));
+      output_char oc '\n')

@@ -1,46 +1,62 @@
-let e17 ~quick fmt =
-  Format.fprintf fmt
-    "@.== E17 / Section 8 open question 2: secrets against a t-channel eavesdropper ==@.";
-  Format.fprintf fmt
-    "breach = eavesdropper overheard EVERY agreed value; expectation ~ (t/C)^agreed@.@.";
+type trial_tally = {
+  agreed : int;
+  overheard : int;
+  breached : bool;
+  mismatched : bool;
+}
+
+let e17 ~quick ~jobs =
   let trials = if quick then 5 else 40 in
   let configs =
     if quick then [ (4, 1, 60) ] else [ (3, 1, 60); (4, 1, 60); (4, 2, 60); (6, 2, 90) ]
   in
+  let total = ref 0 in
   let rows =
     List.map
       (fun (channels, eaves, rounds) ->
-        let agreed_total = ref 0 and overheard_total = ref 0 and breaches = ref 0 in
-        let mismatches = ref 0 in
-        for trial = 1 to trials do
-          let cfg =
-            Radio.Config.make ~n:6 ~channels ~t:(min eaves (channels - 1))
-              ~seed:(Int64.of_int ((trial * 101) + channels)) ()
-          in
-          let o =
-            Ame.Secret_bits.run ~rounds ~cfg ~sender:0 ~receiver:1
-              ~eavesdrop_channels:eaves ()
-          in
-          agreed_total := !agreed_total + o.Ame.Secret_bits.agreed;
-          overheard_total := !overheard_total + o.Ame.Secret_bits.overheard;
-          if o.Ame.Secret_bits.breached then incr breaches;
-          if o.Ame.Secret_bits.sender_key <> o.Ame.Secret_bits.receiver_key then
-            incr mismatches
-        done;
+        let outcomes =
+          Parallel.map_ordered ~jobs
+            (fun trial ->
+              let cfg =
+                Radio.Config.make ~n:6 ~channels ~t:(min eaves (channels - 1))
+                  ~seed:(Int64.of_int ((trial * 101) + channels)) ()
+              in
+              let o =
+                Ame.Secret_bits.run ~rounds ~cfg ~sender:0 ~receiver:1
+                  ~eavesdrop_channels:eaves ()
+              in
+              { agreed = o.Ame.Secret_bits.agreed;
+                overheard = o.Ame.Secret_bits.overheard;
+                breached = o.Ame.Secret_bits.breached;
+                mismatched = o.Ame.Secret_bits.sender_key <> o.Ame.Secret_bits.receiver_key })
+            (List.init trials (fun i -> i + 1))
+        in
+        let agreed_total = List.fold_left (fun acc o -> acc + o.agreed) 0 outcomes in
+        let overheard_total = List.fold_left (fun acc o -> acc + o.overheard) 0 outcomes in
+        let breaches = List.length (List.filter (fun o -> o.breached) outcomes) in
+        let mismatches = List.length (List.filter (fun o -> o.mismatched) outcomes) in
+        total := !total + (rounds * trials);
         let frac =
-          if !agreed_total = 0 then 0.0
-          else float_of_int !overheard_total /. float_of_int !agreed_total
+          if agreed_total = 0 then 0.0
+          else float_of_int overheard_total /. float_of_int agreed_total
         in
         [ string_of_int channels; string_of_int eaves; string_of_int rounds;
-          Printf.sprintf "%.1f" (float_of_int !agreed_total /. float_of_int trials);
+          Printf.sprintf "%.1f" (float_of_int agreed_total /. float_of_int trials);
           Printf.sprintf "%.2f" frac;
           Printf.sprintf "%.2f" (float_of_int eaves /. float_of_int channels);
-          Printf.sprintf "%d/%d" !breaches trials;
-          string_of_int !mismatches ])
+          Printf.sprintf "%d/%d" breaches trials;
+          string_of_int mismatches ])
       configs
   in
-  Common.fmt_table fmt
-    ~header:
-      [ "C"; "eavesdrop ch"; "rounds"; "avg agreed"; "overheard frac"; "t/C"; "breaches";
-        "key mismatches" ]
-    rows
+  Common.result ~total_rounds:!total
+    [ Common.Blank;
+      Common.text
+        "== E17 / Section 8 open question 2: secrets against a t-channel eavesdropper ==";
+      Common.text
+        "breach = eavesdropper overheard EVERY agreed value; expectation ~ (t/C)^agreed";
+      Common.Blank;
+      Common.table
+        ~header:
+          [ "C"; "eavesdrop ch"; "rounds"; "avg agreed"; "overheard frac"; "t/C"; "breaches";
+            "key mismatches" ]
+        rows ]

@@ -1,4 +1,4 @@
 (** Experiment E17: information-theoretic secret growing against the
     eavesdropping-restricted adversary (Section 8, open question 2). *)
 
-val e17 : quick:bool -> Format.formatter -> unit
+val e17 : quick:bool -> jobs:int -> Common.result

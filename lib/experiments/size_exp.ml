@@ -1,10 +1,9 @@
-let e11 ~quick fmt =
-  Format.fprintf fmt "@.== E11 / Section 5.6: honest frame size, basic vs optimized ==@.@.";
+let e11 ~quick ~jobs =
   let t = 1 in
   let channels = 2 in
   let fan_outs = if quick then [ 4 ] else [ 2; 4; 8; 12 ] in
-  let rows =
-    List.concat_map
+  let outcomes =
+    Parallel.map_ordered ~jobs
       (fun k ->
         let sources = [ 0; 1; 2; 3 ] in
         let dests = List.init k (fun i -> 10 + i) in
@@ -26,20 +25,25 @@ let e11 ~quick fmt =
           compact.Ame.Compact.gossip_engine.Radio.Engine.rounds_used
           + compact.Ame.Compact.fame.Ame.Fame.engine.Radio.Engine.rounds_used
         in
-        [ [ "basic"; string_of_int k; string_of_int (List.length pairs);
-            string_of_int
-              basic.Ame.Fame.engine.Radio.Engine.stats.Radio.Transcript.Stats.max_payload;
-            string_of_int (List.length basic.Ame.Fame.delivered);
-            string_of_int basic_rounds; "-" ];
-          [ "optimized"; string_of_int k; string_of_int (List.length pairs);
-            string_of_int compact.Ame.Compact.max_honest_payload;
-            string_of_int (List.length compact.Ame.Compact.delivered);
-            string_of_int compact_rounds;
-            string_of_int compact.Ame.Compact.reconstruction_failures ] ])
+        ( [ [ "basic"; string_of_int k; string_of_int (List.length pairs);
+              string_of_int
+                basic.Ame.Fame.engine.Radio.Engine.stats.Radio.Transcript.Stats.max_payload;
+              string_of_int (List.length basic.Ame.Fame.delivered);
+              string_of_int basic_rounds; "-" ];
+            [ "optimized"; string_of_int k; string_of_int (List.length pairs);
+              string_of_int compact.Ame.Compact.max_honest_payload;
+              string_of_int (List.length compact.Ame.Compact.delivered);
+              string_of_int compact_rounds;
+              string_of_int compact.Ame.Compact.reconstruction_failures ] ],
+          basic_rounds + compact_rounds ))
       fan_outs
   in
-  Common.fmt_table fmt
-    ~header:
-      [ "protocol"; "fan-out k"; "|E|"; "max honest frame (B)"; "delivered"; "rounds";
-        "recon failures" ]
-    rows
+  Common.result ~total_rounds:(List.fold_left (fun acc (_, r) -> acc + r) 0 outcomes)
+    [ Common.Blank;
+      Common.text "== E11 / Section 5.6: honest frame size, basic vs optimized ==";
+      Common.Blank;
+      Common.table
+        ~header:
+          [ "protocol"; "fan-out k"; "|E|"; "max honest frame (B)"; "delivered"; "rounds";
+            "recon failures" ]
+        (List.concat_map fst outcomes) ]

@@ -5,4 +5,4 @@
     frame holds one payload plus two hashes, independent of k, even under a
     spoof flood aimed at the reconstruction machinery. *)
 
-val e11 : quick:bool -> Format.formatter -> unit
+val e11 : quick:bool -> jobs:int -> Common.result

@@ -1,7 +1,9 @@
-let e7 ~quick fmt =
-  Format.fprintf fmt "@.== E7 / Theorem 2: spoof-acceptance, naive vs f-AME ==@.@.";
+type naive_tally = { fooled : int; genuine : int; nothing : int }
+
+let e7 ~quick ~jobs =
   let trials = if quick then 10 else 50 in
   let ts = if quick then [ 2 ] else [ 1; 2; 3 ] in
+  let total = ref 0 in
   let rows =
     List.concat_map
       (fun t ->
@@ -9,57 +11,88 @@ let e7 ~quick fmt =
         let n = Common.fame_nodes_for ~t ~channels_used:channels ~channels in
         let pairs = Rgraph.Workload.disjoint_pairs ~n ~count:(3 * t) in
         let attacked = List.filteri (fun i _ -> i < t) pairs in
-        (* Naive protocol. *)
-        let fooled = ref 0 and genuine = ref 0 and nothing = ref 0 in
-        for trial = 1 to trials do
-          let seed = Int64.of_int ((trial * 131) + t) in
-          let cfg = Radio.Config.make ~seed ~n ~channels ~t () in
-          let adversary =
-            Ame.Naive.simulating_adversary
-              (Prng.Rng.create (Int64.of_int ((trial * 523) + t)))
-              ~pairs ~channels ~budget:t
-          in
-          let r =
-            Ame.Naive.run ~rounds:80 ~cfg ~pairs ~messages:Common.default_messages
-              ~adversary ()
-          in
-          List.iter
-            (fun (pair, verdict) ->
-              if List.mem pair attacked then
-                match verdict with
-                | Ame.Naive.Fooled -> incr fooled
-                | Ame.Naive.Genuine -> incr genuine
-                | Ame.Naive.Nothing -> incr nothing)
-            r.Ame.Naive.verdicts
-        done;
+        (* Naive protocol: independent replicates per trial seed. *)
+        let naive_tallies =
+          Parallel.map_ordered ~jobs
+            (fun trial ->
+              let seed = Int64.of_int ((trial * 131) + t) in
+              let cfg = Radio.Config.make ~seed ~n ~channels ~t () in
+              let adversary =
+                Ame.Naive.simulating_adversary
+                  (Prng.Rng.create (Int64.of_int ((trial * 523) + t)))
+                  ~pairs ~channels ~budget:t
+              in
+              let r =
+                Ame.Naive.run ~rounds:80 ~cfg ~pairs ~messages:Common.default_messages
+                  ~adversary ()
+              in
+              List.fold_left
+                (fun acc (pair, verdict) ->
+                  if List.mem pair attacked then
+                    match verdict with
+                    | Ame.Naive.Fooled -> { acc with fooled = acc.fooled + 1 }
+                    | Ame.Naive.Genuine -> { acc with genuine = acc.genuine + 1 }
+                    | Ame.Naive.Nothing -> { acc with nothing = acc.nothing + 1 }
+                  else acc)
+                { fooled = 0; genuine = 0; nothing = 0 }
+                r.Ame.Naive.verdicts)
+            (List.init trials (fun i -> i + 1))
+        in
+        let tally =
+          List.fold_left
+            (fun acc o ->
+              { fooled = acc.fooled + o.fooled;
+                genuine = acc.genuine + o.genuine;
+                nothing = acc.nothing + o.nothing })
+            { fooled = 0; genuine = 0; nothing = 0 }
+            naive_tallies
+        in
         (* f-AME under the same adversary. *)
-        let fame_fakes = ref 0 and fame_delivered = ref 0 in
-        for trial = 1 to trials / 5 do
-          let seed = Int64.of_int ((trial * 733) + t) in
-          let cfg = Radio.Config.make ~seed ~n ~channels ~t ~max_rounds:20_000_000 () in
-          let adversary _board =
-            Ame.Naive.simulating_adversary
-              (Prng.Rng.create (Int64.of_int ((trial * 877) + t)))
-              ~pairs ~channels ~budget:t
-          in
-          let o =
-            Ame.Fame.run ~cfg ~pairs ~messages:Common.default_messages ~adversary ()
-          in
-          fame_delivered := !fame_delivered + List.length o.Ame.Fame.delivered;
-          List.iter
-            (fun (pair, body) ->
-              if body <> Common.default_messages pair then incr fame_fakes)
-            o.Ame.Fame.delivered
-        done;
-        let total = trials * t in
-        [ [ "naive"; string_of_int t; string_of_int total;
-            Printf.sprintf "%d (%.0f%%)" !fooled (100.0 *. float_of_int !fooled /. float_of_int total);
-            Printf.sprintf "%d (%.0f%%)" !genuine (100.0 *. float_of_int !genuine /. float_of_int total);
-            string_of_int !nothing ];
-          [ "f-AME"; string_of_int t; string_of_int !fame_delivered;
-            string_of_int !fame_fakes; "-"; "-" ] ])
+        let fame_outcomes =
+          Parallel.map_ordered ~jobs
+            (fun trial ->
+              let seed = Int64.of_int ((trial * 733) + t) in
+              let cfg =
+                Radio.Config.make ~seed ~n ~channels ~t
+                  ~max_rounds:Radio.Config.default_max_rounds ()
+              in
+              let adversary _board =
+                Ame.Naive.simulating_adversary
+                  (Prng.Rng.create (Int64.of_int ((trial * 877) + t)))
+                  ~pairs ~channels ~budget:t
+              in
+              let o =
+                Ame.Fame.run ~cfg ~pairs ~messages:Common.default_messages ~adversary ()
+              in
+              let fakes =
+                List.length
+                  (List.filter
+                     (fun (pair, body) -> body <> Common.default_messages pair)
+                     o.Ame.Fame.delivered)
+              in
+              (List.length o.Ame.Fame.delivered, fakes,
+               o.Ame.Fame.engine.Radio.Engine.rounds_used))
+            (List.init (trials / 5) (fun i -> i + 1))
+        in
+        let fame_delivered =
+          List.fold_left (fun acc (d, _, _) -> acc + d) 0 fame_outcomes
+        in
+        let fame_fakes = List.fold_left (fun acc (_, f, _) -> acc + f) 0 fame_outcomes in
+        total := !total + List.fold_left (fun acc (_, _, r) -> acc + r) 0 fame_outcomes;
+        let all = trials * t in
+        [ [ "naive"; string_of_int t; string_of_int all;
+            Printf.sprintf "%d (%.0f%%)" tally.fooled
+              (100.0 *. float_of_int tally.fooled /. float_of_int all);
+            Printf.sprintf "%d (%.0f%%)" tally.genuine
+              (100.0 *. float_of_int tally.genuine /. float_of_int all);
+            string_of_int tally.nothing ];
+          [ "f-AME"; string_of_int t; string_of_int fame_delivered;
+            string_of_int fame_fakes; "-"; "-" ] ])
       ts
   in
-  Common.fmt_table fmt
-    ~header:[ "protocol"; "t"; "outputs"; "fake accepted"; "genuine"; "none" ]
-    rows
+  Common.result ~total_rounds:!total
+    [ Common.Blank; Common.text "== E7 / Theorem 2: spoof-acceptance, naive vs f-AME ==";
+      Common.Blank;
+      Common.table
+        ~header:[ "protocol"; "t"; "outputs"; "fake accepted"; "genuine"; "none" ]
+        rows ]

@@ -6,4 +6,4 @@
     f-AME, where every receive channel is occupied by a deterministically
     scheduled honest broadcaster, zero spoofed frames are ever accepted. *)
 
-val e7 : quick:bool -> Format.formatter -> unit
+val e7 : quick:bool -> jobs:int -> Common.result

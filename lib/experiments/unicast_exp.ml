@@ -1,16 +1,12 @@
-let e14 ~quick fmt =
-  Format.fprintf fmt
-    "@.== E14 / Section 8 open question 4: concurrent pairwise channels ==@.";
-  Format.fprintf fmt
-    "delivery rate vs concurrent pairs; self-collisions + jamming degrade narrow C first@.@.";
+let e14 ~quick ~jobs =
   let t = 1 in
   let msgs_per_stream = 4 in
   let configs =
     if quick then [ (2, 2) ]
     else [ (2, 1); (2, 2); (2, 4); (4, 1); (4, 2); (4, 4); (4, 6); (8, 4); (8, 6) ]
   in
-  let rows =
-    List.map
+  let outcomes =
+    Parallel.map_ordered ~jobs
       (fun (channels, pair_count) ->
         let n = max 16 (2 * pair_count + 2) in
         let cfg =
@@ -37,13 +33,20 @@ let e14 ~quick fmt =
           100.0 *. float_of_int o.Secure_channel.Unicast.delivered_total
           /. float_of_int (max 1 o.Secure_channel.Unicast.offered_total)
         in
-        [ string_of_int channels; string_of_int pair_count;
-          string_of_int o.Secure_channel.Unicast.offered_total;
-          string_of_int o.Secure_channel.Unicast.delivered_total;
-          Printf.sprintf "%.0f%%" rate;
-          string_of_int o.Secure_channel.Unicast.engine.Radio.Engine.rounds_used ])
+        ( [ string_of_int channels; string_of_int pair_count;
+            string_of_int o.Secure_channel.Unicast.offered_total;
+            string_of_int o.Secure_channel.Unicast.delivered_total;
+            Printf.sprintf "%.0f%%" rate;
+            string_of_int o.Secure_channel.Unicast.engine.Radio.Engine.rounds_used ],
+          o.Secure_channel.Unicast.engine.Radio.Engine.rounds_used ))
       configs
   in
-  Common.fmt_table fmt
-    ~header:[ "C"; "pairs"; "offered"; "delivered"; "rate"; "rounds" ]
-    rows
+  Common.result ~total_rounds:(List.fold_left (fun acc (_, r) -> acc + r) 0 outcomes)
+    [ Common.Blank;
+      Common.text "== E14 / Section 8 open question 4: concurrent pairwise channels ==";
+      Common.text
+        "delivery rate vs concurrent pairs; self-collisions + jamming degrade narrow C first";
+      Common.Blank;
+      Common.table
+        ~header:[ "C"; "pairs"; "offered"; "delivered"; "rate"; "rounds" ]
+        (List.map fst outcomes) ]

@@ -7,4 +7,4 @@
     jammer's t channels eat the gains — the crossover moves right as C
     grows. *)
 
-val e14 : quick:bool -> Format.formatter -> unit
+val e14 : quick:bool -> jobs:int -> Common.result

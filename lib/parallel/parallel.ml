@@ -1,0 +1,27 @@
+(* Deterministic fan-out across domains (OCaml 5 stdlib only).
+
+   The contract that the whole experiment layer leans on: [map_ordered]
+   merges results back in submission order, so a pure task list produces
+   output byte-identical to the serial run no matter how the scheduler
+   interleaves the domains.  Tasks must therefore not share mutable state;
+   each replicate derives its own [Prng.Rng] from an explicit seed. *)
+
+module Pool = Pool
+module Clock = Clock
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map_ordered ~jobs f xs =
+  (* More domains than cores never helps in OCaml 5 (every minor GC is a
+     stop-the-world sync across domains), so oversubscription is clamped
+     here rather than at each call site.  Results are identical either
+     way; only wall-clock changes. *)
+  let jobs = min jobs (default_jobs ()) in
+  if jobs <= 1 then List.map f xs
+  else
+    match xs with
+    | [] -> []
+    | [ x ] -> [ f x ]
+    | _ ->
+      Pool.with_pool ~domains:(min jobs (List.length xs)) (fun pool ->
+          Pool.map_ordered pool f xs)

@@ -1,0 +1,21 @@
+(** Deterministic fan-out across OCaml 5 domains.
+
+    [map_ordered ~jobs f xs] computes [List.map f xs] with up to [jobs]
+    worker domains and merges results back in submission order, so for pure
+    [f] the output is byte-identical to the serial run.  [jobs <= 1] runs
+    serially on the calling domain (no domains spawned).  Do not call
+    [map_ordered] from inside one of its own tasks with a shared {!Pool.t};
+    the transient-pool form here is always safe to nest. *)
+
+module Pool = Pool
+module Clock = Clock
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map_ordered : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** See the module header.  [jobs] is clamped to {!default_jobs} — extra
+    domains beyond the core count only add GC synchronization stalls — and
+    the clamp never changes results, only wall-clock.  Exceptions from
+    tasks are re-raised at the call site; when several tasks fail, the
+    earliest-submitted failure wins. *)

@@ -1,0 +1,108 @@
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let locked pool f =
+  Mutex.lock pool.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock pool.mutex) f
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.stopping do
+    Condition.wait pool.nonempty pool.mutex
+  done;
+  match Queue.take_opt pool.queue with
+  | Some task ->
+    Mutex.unlock pool.mutex;
+    task ();
+    worker_loop pool
+  | None ->
+    (* stopping && empty *)
+    Mutex.unlock pool.mutex
+
+let create ~domains =
+  let domains = max domains 1 in
+  let pool =
+    { mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [||] }
+  in
+  pool.workers <- Array.init domains (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = Array.length pool.workers
+
+let submit pool task =
+  locked pool (fun () ->
+      if pool.stopping then invalid_arg "Pool.submit: pool is shut down";
+      Queue.add task pool.queue;
+      Condition.signal pool.nonempty)
+
+let shutdown pool =
+  let join =
+    locked pool (fun () ->
+        if pool.stopping then false
+        else begin
+          pool.stopping <- true;
+          Condition.broadcast pool.nonempty;
+          true
+        end)
+  in
+  if join then Array.iter Domain.join pool.workers
+
+let with_pool ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Completion tracking for one map_ordered call: its own mutex/condition so
+   concurrent map_ordered calls on a shared pool cannot wake each other. *)
+type 'b join_point = {
+  jp_mutex : Mutex.t;
+  jp_done : Condition.t;
+  mutable remaining : int;
+  slots : ('b, exn * Printexc.raw_backtrace) result option array;
+}
+
+let map_ordered pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    let jp =
+      { jp_mutex = Mutex.create ();
+        jp_done = Condition.create ();
+        remaining = n;
+        slots = Array.make n None }
+    in
+    for i = 0 to n - 1 do
+      submit pool (fun () ->
+          let outcome =
+            match f items.(i) with
+            | y -> Ok y
+            | exception e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          Mutex.lock jp.jp_mutex;
+          jp.slots.(i) <- Some outcome;
+          jp.remaining <- jp.remaining - 1;
+          if jp.remaining = 0 then Condition.signal jp.jp_done;
+          Mutex.unlock jp.jp_mutex)
+    done;
+    Mutex.lock jp.jp_mutex;
+    while jp.remaining > 0 do
+      Condition.wait jp.jp_done jp.jp_mutex
+    done;
+    Mutex.unlock jp.jp_mutex;
+    (* Merge in submission order; surface the earliest failure. *)
+    Array.to_list jp.slots
+    |> List.map (function
+         | Some (Ok y) -> y
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)

@@ -1,0 +1,33 @@
+(** A fixed-size pool of worker domains fed from a shared work queue.
+
+    Workers are plain [Domain.t]s coordinated with a [Mutex]/[Condition]
+    pair (no dependencies beyond the stdlib).  Tasks are closures; results
+    flow back through the submission site, never through shared state, so a
+    pool imposes no ordering of its own — see {!map_ordered} for the
+    deterministic merge. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [max domains 1] worker domains that block on
+    the queue until {!shutdown}. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val shutdown : t -> unit
+(** Drain the queue, join every worker, and make further submission an
+    error.  Idempotent. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] on a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)
+
+val map_ordered : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_ordered pool f xs] applies [f] to every element of [xs], fanning
+    the applications out across the pool's domains, and returns the images
+    in the order of [xs] — byte-identical to [List.map f xs] whenever [f]
+    is pure.  If any application raises, the exception raised for the
+    earliest-submitted failing element is re-raised (with its backtrace)
+    after all tasks settle.  [map_ordered pool f []] is [[]] and touches no
+    worker. *)

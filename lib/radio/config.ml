@@ -14,6 +14,11 @@ type t = {
   record_transcript : bool;
 }
 
+(* Generous ceiling for experiment-scale runs: far above any honest
+   completion time, low enough that a divergent protocol still terminates.
+   Shared by the experiment harness and the test suite. *)
+let default_max_rounds = 20_000_000
+
 let make ?(seed = 1L) ?(max_rounds = 2_000_000) ?(record_transcript = false) ~n ~channels ~t () =
   if channels < 2 then invalid_arg "Config.make: need at least 2 channels";
   if t < 0 || t >= channels then invalid_arg "Config.make: need 0 <= t < channels";

@@ -22,7 +22,7 @@ let messages (v, w) = Printf.sprintf "m-%d-%d" v w
 let fame_cfg ?(t = 2) ?(seed = 1L) ?channels () =
   let channels = Option.value channels ~default:(t + 1) in
   let n = Params.nodes_required Params.default ~channels_used:channels ~budget:t ~channels + 6 in
-  Radio.Config.make ~n ~channels ~t ~seed ~max_rounds:20_000_000 ()
+  Radio.Config.make ~n ~channels ~t ~seed ~max_rounds:Radio.Config.default_max_rounds ()
 
 let null_adversary (_ : Oracle.t) = Radio.Adversary.null
 
@@ -331,7 +331,7 @@ let fame_wide_channels_faster () =
          ~channels:(2 * t))
     + 6
   in
-  let base = Radio.Config.make ~n ~channels:(t + 1) ~t ~seed:40L ~max_rounds:20_000_000 () in
+  let base = Radio.Config.make ~n ~channels:(t + 1) ~t ~seed:40L ~max_rounds:Radio.Config.default_max_rounds () in
   let pairs = Workload.disjoint_pairs ~n ~count:8 in
   let narrow =
     Fame.run ~cfg:base ~pairs ~messages
@@ -339,7 +339,7 @@ let fame_wide_channels_faster () =
         Attacks.schedule_jammer board ~channels:(t + 1) ~budget:t ~prefer:Attacks.Any)
       ()
   in
-  let wide_cfg = Radio.Config.make ~n ~channels:(2 * t) ~t ~seed:40L ~max_rounds:20_000_000 () in
+  let wide_cfg = Radio.Config.make ~n ~channels:(2 * t) ~t ~seed:40L ~max_rounds:Radio.Config.default_max_rounds () in
   let wide =
     Fame.run ~cfg:wide_cfg ~pairs ~messages
       ~adversary:(fun board ->
@@ -353,7 +353,7 @@ let fame_wide_channels_faster () =
 let fame_tree_mode_works () =
   let t = 2 in
   let channels = 2 * t * t in
-  let cfg = Radio.Config.make ~n:55 ~channels ~t ~seed:41L ~max_rounds:20_000_000 () in
+  let cfg = Radio.Config.make ~n:55 ~channels ~t ~seed:41L ~max_rounds:Radio.Config.default_max_rounds () in
   let pairs = Workload.disjoint_pairs ~n:55 ~count:8 in
   let o =
     Fame.run ~channels_used:4 ~feedback_mode:Fame.Tree ~cfg ~pairs ~messages
@@ -406,7 +406,7 @@ let fame_invariants_on_random_workloads =
       let pairs = Workload.random_pairs rng ~n ~count:pair_count in
       let cfg =
         Radio.Config.make ~n ~channels ~t ~seed:(Int64.of_int (seed * 31))
-          ~max_rounds:20_000_000 ()
+          ~max_rounds:Radio.Config.default_max_rounds ()
       in
       let adversary board =
         match adversary_kind with
@@ -572,7 +572,7 @@ let compact_hashes_separate () =
 
 let compact_end_to_end_under_spoof_flood () =
   let t = 1 in
-  let cfg = Radio.Config.make ~n:24 ~channels:2 ~t ~seed:95L ~max_rounds:20_000_000 () in
+  let cfg = Radio.Config.make ~n:24 ~channels:2 ~t ~seed:95L ~max_rounds:Radio.Config.default_max_rounds () in
   let sources = [ 0; 1; 2; 3 ] and dests = [ 10; 11; 12 ] in
   let pairs = List.concat_map (fun v -> List.map (fun w -> (v, w)) dests) sources in
   let o =
@@ -595,7 +595,7 @@ let compact_frames_constant_size () =
   let run_fan k =
     let dests = List.init k (fun i -> 10 + i) in
     let pairs = List.map (fun w -> (0, w)) dests @ List.map (fun w -> (1, w)) dests in
-    let cfg = Radio.Config.make ~n:(16 + k) ~channels:2 ~t ~seed:96L ~max_rounds:20_000_000 () in
+    let cfg = Radio.Config.make ~n:(16 + k) ~channels:2 ~t ~seed:96L ~max_rounds:Radio.Config.default_max_rounds () in
     let o =
       Compact.run ~cfg ~pairs ~messages
         ~gossip_adversary:(fun _ -> Radio.Adversary.null)

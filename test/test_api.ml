@@ -60,16 +60,20 @@ let registry_complete () =
   check Alcotest.bool "find works" true (Experiments.Registry.find "e4" <> None);
   check Alcotest.bool "find rejects junk" true (Experiments.Registry.find "e99" = None)
 
+let registry_ids_unique () =
+  let sorted = List.sort_uniq compare Experiments.Registry.ids in
+  check Alcotest.int "experiment ids are unique"
+    (List.length Experiments.Registry.ids)
+    (List.length sorted)
+
 let registry_e4_runs () =
   (* The cheapest experiment must run end-to-end through the registry. *)
   match Experiments.Registry.find "e4" with
   | None -> Alcotest.fail "e4 missing"
   | Some e ->
-    let buf = Buffer.create 256 in
-    let fmt = Format.formatter_of_buffer buf in
-    e.Experiments.Registry.run ~quick:true fmt;
-    Format.pp_print_flush fmt ();
-    check Alcotest.bool "produced a table" true (Buffer.length buf > 100)
+    let r = e.Experiments.Registry.run ~quick:true ~jobs:1 in
+    let rendered = Experiments.Common.render_to_string r in
+    check Alcotest.bool "produced a table" true (String.length rendered > 100)
 
 let () =
   Alcotest.run "api"
@@ -81,4 +85,5 @@ let () =
           Alcotest.test_case "secure channel" `Quick channel_api ] );
       ( "registry",
         [ Alcotest.test_case "complete" `Quick registry_complete;
+          Alcotest.test_case "ids unique" `Quick registry_ids_unique;
           Alcotest.test_case "e4 runs" `Quick registry_e4_runs ] ) ]

@@ -62,7 +62,7 @@ let rekey_rejects_compromised_leader () =
 let corrupted_surrogates_poison_fame () =
   let t = 1 in
   let pairs = List.concat_map (fun v -> List.map (fun w -> (v, w)) [ 20; 21; 22; 23 ]) [ 0; 1 ] in
-  let cfg = Radio.Config.make ~n:30 ~channels:2 ~t ~seed:11L ~max_rounds:20_000_000 () in
+  let cfg = Radio.Config.make ~n:30 ~channels:2 ~t ~seed:11L ~max_rounds:Radio.Config.default_max_rounds () in
   let o =
     Ame.Fame.run ~corrupted:[ 2; 3; 4; 5 ] ~corruption:Ame.Fame.Forge_as_surrogate ~cfg
       ~pairs ~messages
@@ -81,7 +81,7 @@ let lying_witnesses_break_agreement () =
      open. *)
   let t = 1 in
   let pairs = List.concat_map (fun v -> List.map (fun w -> (v, w)) [ 20; 21; 22; 23 ]) [ 0; 1 ] in
-  let cfg = Radio.Config.make ~n:30 ~channels:2 ~t ~seed:11L ~max_rounds:20_000_000 () in
+  let cfg = Radio.Config.make ~n:30 ~channels:2 ~t ~seed:11L ~max_rounds:Radio.Config.default_max_rounds () in
   let o =
     Ame.Fame.run ~corrupted:[ 2; 3; 4; 5 ] ~corruption:Ame.Fame.Lie_as_witness ~cfg ~pairs
       ~messages
@@ -93,7 +93,7 @@ let lying_witnesses_break_agreement () =
 let direct_immune_to_corrupt_relays () =
   let t = 1 in
   let pairs = List.concat_map (fun v -> List.map (fun w -> (v, w)) [ 20; 21; 22; 23 ]) [ 0; 1 ] in
-  let cfg = Radio.Config.make ~n:30 ~channels:2 ~t ~seed:11L ~max_rounds:20_000_000 () in
+  let cfg = Radio.Config.make ~n:30 ~channels:2 ~t ~seed:11L ~max_rounds:Radio.Config.default_max_rounds () in
   (* Direct has no surrogate mechanism at all: nothing to corrupt. *)
   let o = Ame.Direct.run ~cfg ~pairs ~messages ~adversary:(fun _ -> Radio.Adversary.null) () in
   List.iter
@@ -211,7 +211,7 @@ let energy_bounded_fame_stays_sound () =
   let n =
     Ame.Params.nodes_required Ame.Params.default ~channels_used:channels ~budget:t ~channels + 6
   in
-  let cfg = Radio.Config.make ~n ~channels ~t ~seed:13L ~max_rounds:20_000_000 () in
+  let cfg = Radio.Config.make ~n ~channels ~t ~seed:13L ~max_rounds:Radio.Config.default_max_rounds () in
   let pairs = Rgraph.Workload.disjoint_pairs ~n ~count:8 in
   let o =
     Ame.Fame.run ~cfg ~pairs ~messages

@@ -1,0 +1,148 @@
+(* Tests for the domain-pool runner: ordering, exception propagation, and
+   the determinism contract (parallel output byte-identical to serial). *)
+
+let check = Alcotest.check
+
+(* Busy work whose duration varies by input, to scramble completion order
+   across domains; the merge must restore submission order regardless. *)
+let jittered_square x =
+  let spin = 1000 * (17 - (x mod 17)) in
+  let acc = ref 0 in
+  for i = 1 to spin do
+    acc := !acc + (i mod 7)
+  done;
+  ignore !acc;
+  x * x
+
+exception Boom of int
+
+(* -- Pool: real domains, unclamped -- *)
+
+let pool_ordering () =
+  let xs = List.init 100 Fun.id in
+  let expected = List.map jittered_square xs in
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let got = Parallel.Pool.map_ordered pool jittered_square xs in
+      check (Alcotest.list Alcotest.int) "order preserved" expected got)
+
+let pool_empty () =
+  Parallel.Pool.with_pool ~domains:3 (fun pool ->
+      check (Alcotest.list Alcotest.int) "empty input" []
+        (Parallel.Pool.map_ordered pool jittered_square []);
+      check (Alcotest.list Alcotest.int) "singleton" [ 49 ]
+        (Parallel.Pool.map_ordered pool jittered_square [ 7 ]))
+
+let pool_exception () =
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      match
+        Parallel.Pool.map_ordered pool
+          (fun x -> if x mod 3 = 0 then raise (Boom x) else x)
+          [ 1; 2; 3; 4; 5; 6 ]
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom x -> check Alcotest.int "earliest failure wins" 3 x)
+
+let pool_survives_task_failure () =
+  (* A raising task must not kill the worker; the pool stays usable. *)
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      (try ignore (Parallel.Pool.map_ordered pool (fun _ -> raise (Boom 0)) [ 1; 2 ]) with
+       | Boom _ -> ());
+      check (Alcotest.list Alcotest.int) "pool reusable after failure" [ 2; 4; 6 ]
+        (Parallel.Pool.map_ordered pool (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+let pool_shutdown () =
+  let pool = Parallel.Pool.create ~domains:2 in
+  check Alcotest.int "size" 2 (Parallel.Pool.size pool);
+  Parallel.Pool.shutdown pool;
+  (* Idempotent. *)
+  Parallel.Pool.shutdown pool
+
+(* -- map_ordered: the clamped convenience form -- *)
+
+let map_ordered_matches_serial () =
+  let xs = List.init 50 (fun i -> i - 25) in
+  List.iter
+    (fun jobs ->
+      check (Alcotest.list Alcotest.int)
+        (Printf.sprintf "jobs=%d equals List.map" jobs)
+        (List.map jittered_square xs)
+        (Parallel.map_ordered ~jobs jittered_square xs))
+    [ 1; 2; 4; 64 ]
+
+let map_ordered_serial_exception () =
+  match Parallel.map_ordered ~jobs:1 (fun x -> raise (Boom x)) [ 9 ] with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom x -> check Alcotest.int "serial path raises" 9 x
+
+(* -- determinism of the experiment layer -- *)
+
+let rendered id ~jobs =
+  match Experiments.Registry.find id with
+  | None -> Alcotest.fail (id ^ " missing")
+  | Some e ->
+    Experiments.Common.render_to_string (e.Experiments.Registry.run ~quick:true ~jobs)
+
+let experiment_determinism () =
+  (* The acceptance bar for the whole runner: parallel fan-out renders the
+     exact bytes of the serial run.  e4 and e5 are the fast experiments
+     with genuinely parallel inner loops. *)
+  List.iter
+    (fun id ->
+      check Alcotest.string
+        (id ^ " byte-identical at jobs=4")
+        (rendered id ~jobs:1) (rendered id ~jobs:4))
+    [ "e4"; "e5" ]
+
+(* -- JSON emitter -- *)
+
+let json_escaping () =
+  check Alcotest.string "string escaping" {|"a\"b\\c\nd"|}
+    (Experiments.Json.to_string (Experiments.Json.String "a\"b\\c\nd"));
+  check Alcotest.string "control chars" {|"\u0001"|}
+    (Experiments.Json.to_string (Experiments.Json.String "\001"));
+  check Alcotest.string "nan is null" "null"
+    (Experiments.Json.to_string (Experiments.Json.Float Float.nan))
+
+let json_document () =
+  let doc =
+    Experiments.Json.Obj
+      [ ("xs", Experiments.Json.List [ Experiments.Json.Int 1; Experiments.Json.Bool true ]);
+        ("y", Experiments.Json.Null) ]
+  in
+  check Alcotest.string "compact object" {|{"xs":[1,true],"y":null}|}
+    (Experiments.Json.to_string doc)
+
+let runner_json_has_metrics () =
+  match Experiments.Registry.find "e4" with
+  | None -> Alcotest.fail "e4 missing"
+  | Some e ->
+    let outcomes = Experiments.Runner.run_many ~quick:true ~jobs:2 [ e ] in
+    let doc = Experiments.Runner.json_of_outcomes ~quick:true ~jobs:2 outcomes in
+    let s = Experiments.Json.to_string doc in
+    let mem needle =
+      let n = String.length needle and l = String.length s in
+      let rec go i = i + n <= l && (String.sub s i n = needle || go (i + 1)) in
+      go 0
+    in
+    check Alcotest.bool "schema tag" true (mem {|"schema":"radio-experiments/v1"|});
+    check Alcotest.bool "wall-clock metric" true (mem {|"wall_s":|});
+    check Alcotest.bool "rounds metric" true (mem {|"total_rounds":|});
+    check Alcotest.bool "table data" true (mem {|"header":|})
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "pool",
+        [ Alcotest.test_case "ordering" `Quick pool_ordering;
+          Alcotest.test_case "empty + singleton" `Quick pool_empty;
+          Alcotest.test_case "exception propagation" `Quick pool_exception;
+          Alcotest.test_case "reusable after failure" `Quick pool_survives_task_failure;
+          Alcotest.test_case "shutdown idempotent" `Quick pool_shutdown ] );
+      ( "map_ordered",
+        [ Alcotest.test_case "matches serial" `Quick map_ordered_matches_serial;
+          Alcotest.test_case "serial exception" `Quick map_ordered_serial_exception ] );
+      ( "determinism",
+        [ Alcotest.test_case "e4/e5 jobs-invariant" `Slow experiment_determinism ] );
+      ( "json",
+        [ Alcotest.test_case "escaping" `Quick json_escaping;
+          Alcotest.test_case "document" `Quick json_document;
+          Alcotest.test_case "runner metrics" `Quick runner_json_has_metrics ] ) ]
