@@ -100,7 +100,7 @@ let run_micro () =
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
       let analyzed = Analyze.all ols instance results in
-      Hashtbl.iter
+      Det.iter
         (fun name ols_result ->
           let ns =
             match Analyze.OLS.estimates ols_result with

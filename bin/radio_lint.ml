@@ -1,0 +1,122 @@
+(* radio_lint: AST-level determinism & protocol-safety linter.
+
+   Walks every .ml under the configured roots (default: lint.toml's
+   [lint].roots) and fails on nondeterminism escapes, partial functions
+   in protocol modules, module-level mutable state, stray printing, and
+   missing .mli interfaces.  See the README "Static analysis" section
+   for the rule table and escape-comment syntax.
+
+   Exit codes: 0 clean, 1 violations or unparseable files, 2 usage or
+   configuration errors. *)
+
+open Cmdliner
+
+let json_of_violation (v : Lint.Engine.violation) =
+  Experiments.Json.Obj
+    [ ("file", Experiments.Json.String v.file);
+      ("line", Experiments.Json.Int v.line);
+      ("col", Experiments.Json.Int v.col);
+      ("rule", Experiments.Json.String v.rule);
+      ("message", Experiments.Json.String v.message) ]
+
+let json_of_report ~config_path (r : Lint.Engine.report) =
+  let open Experiments.Json in
+  Obj
+    [ ("schema", String "radio-lint/v1");
+      ("config", String config_path);
+      ("files_checked", Int (List.length r.files));
+      ( "rules",
+        List
+          (Stdlib.List.map
+             (fun (rule : Lint.Rules.t) ->
+               Obj
+                 [ ("id", String rule.id);
+                   ("family", String (Lint.Rules.family_name rule.family));
+                   ("summary", String rule.summary) ])
+             Lint.Rules.all) );
+      ("violations", List (Stdlib.List.map json_of_violation r.active));
+      ( "suppressed",
+        List
+          (Stdlib.List.map
+             (fun (v, reason) ->
+               match json_of_violation v with
+               | Obj fields -> Obj (fields @ [ ("reason", String reason) ])
+               | other -> other)
+             r.suppressed) );
+      ( "errors",
+        List
+          (Stdlib.List.map
+             (fun (file, msg) -> Obj [ ("file", String file); ("message", String msg) ])
+             r.errors) ) ]
+
+(* 0 = clean, 1 = violations or unparseable files, 2 = usage/config. *)
+let run config_path json_path quiet roots =
+  match Lint.Config.load config_path with
+  | Error msg ->
+    Printf.eprintf "radio_lint: cannot load %s: %s\n%!" config_path msg;
+    2
+  | Ok config -> (
+    let roots = if roots = [] then config.Lint.Config.roots else roots in
+    match List.filter (fun r -> not (Sys.file_exists r)) roots with
+    | missing :: _ ->
+      Printf.eprintf "radio_lint: no such file or directory: %s\n%!" missing;
+      2
+    | [] ->
+    let report = Lint.Engine.run ~config roots in
+    if not quiet then begin
+      List.iter
+        (fun v -> Format.printf "%a@." Lint.Engine.pp_violation v)
+        report.Lint.Engine.active;
+      List.iter
+        (fun (file, msg) -> Format.printf "%s: error: %s@." file msg)
+        report.Lint.Engine.errors;
+      Format.printf "radio_lint: %d file(s), %d violation(s), %d suppressed, %d error(s)@."
+        (List.length report.Lint.Engine.files)
+        (List.length report.Lint.Engine.active)
+        (List.length report.Lint.Engine.suppressed)
+        (List.length report.Lint.Engine.errors)
+    end;
+    let status = if Lint.Engine.ok report then 0 else 1 in
+    match json_path with
+    | Some path -> (
+      match
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (Experiments.Json.to_string (json_of_report ~config_path report));
+            output_char oc '\n')
+      with
+      | () -> status
+      | exception Sys_error msg ->
+        Printf.eprintf "radio_lint: cannot write --json results: %s\n%!" msg;
+        2)
+    | None -> status)
+
+let config_arg =
+  Arg.(
+    value & opt string "lint.toml"
+    & info [ "config" ] ~docv:"FILE" ~doc:"Lint configuration file.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:"Also write the report as radio-lint/v1 JSON to $(docv).")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the text report (exit code only).")
+
+let roots_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"ROOT"
+        ~doc:"Directories or files to lint (default: the configuration's roots).")
+
+let cmd =
+  let doc = "statically enforce determinism and protocol-safety invariants" in
+  let info = Cmd.info "radio_lint" ~doc ~exits:Cmd.Exit.defaults in
+  Cmd.v info Term.(const run $ config_arg $ json_arg $ quiet_arg $ roots_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -116,12 +116,15 @@ let run ?(ame_params = Params.default) ?gossip_beta ?(candidate_cap = 256) ~cfg 
           (* My epoch: broadcast m_id,index with the reconstruction hash of
              the chain from index to the end. *)
           let rec drop i = function [] -> [] | _ :: tl when i > 0 -> drop (i - 1) tl | l -> l in
-          let tail = drop index my_bodies in
-          let body = List.nth my_bodies index in
-          let frame =
-            Radio.Frame.Chain { owner = id; index; body; recon_hash = hash_chain tail }
-          in
-          Radio.Engine.transmit ~chan:(Prng.Rng.int ctx.rng channels) frame
+          (match drop index my_bodies with
+           | body :: _ as tail ->
+             let frame =
+               Radio.Frame.Chain { owner = id; index; body; recon_hash = hash_chain tail }
+             in
+             Radio.Engine.transmit ~chan:(Prng.Rng.int ctx.rng channels) frame
+           | [] ->
+             (* Calendar epoch beyond my out-degree: nothing to send. *)
+             Radio.Engine.idle ())
         end
         else begin
           match Radio.Engine.listen ~chan:(Prng.Rng.int ctx.rng channels) with
@@ -171,8 +174,11 @@ let run ?(ame_params = Params.default) ?gossip_beta ?(candidate_cap = 256) ~cfg 
             in
             find 0 dests
           in
-          if index >= 0 && index < List.length chain then Some ((v, w), List.nth chain index)
-          else (incr reconstruction_failures; None)
+          (match if index < 0 then None else List.nth_opt chain index with
+           | Some body -> Some ((v, w), body)
+           | None ->
+             incr reconstruction_failures;
+             None)
         | None ->
           incr reconstruction_failures;
           None)

@@ -93,9 +93,7 @@ let run ?(ame_params = Params.default) ?channels_used ~cfg ~pairs ~messages ~adv
     play ()
   in
   let engine = Radio.Engine.run cfg ~adversary:(adversary board) (Array.make n node_body) in
-  let delivered =
-    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) delivered_cells [])
-  in
+  let delivered = Det.bindings delivered_cells in
   let failed =
     List.sort compare (List.filter (fun pair -> not (Hashtbl.mem delivered_cells pair)) pairs)
   in

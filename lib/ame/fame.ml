@@ -59,7 +59,7 @@ let run ?(ame_params = Params.default) ?channels_used ?(feedback_mode = Sequenti
   let confirmed_cells : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
   let diverged = ref false in
   let moves_counter = ref 0 in
-  let final_digests = Array.make n 0 in
+  let final_digests = Array.make n "" in
   let node_body (ctx : Radio.Engine.ctx) =
     let id = ctx.id in
     let state =
@@ -168,18 +168,22 @@ let run ?(ame_params = Params.default) ?channels_used ?(feedback_mode = Sequenti
     in
     play ();
     let final = !state in
+    (* Canonical serialization, not [Hashtbl.hash]: the polymorphic hash is
+       no cross-host fingerprint, and divergence detection only needs
+       equality of the final states. *)
     final_digests.(id) <-
-      Hashtbl.hash (Rgraph.Digraph.edges final.Game.State.graph, final.Game.State.starred)
+      Printf.sprintf "%s|%s"
+        (String.concat ";"
+           (List.map
+              (fun (v, w) -> Printf.sprintf "%d-%d" v w)
+              (List.sort compare (Rgraph.Digraph.edges final.Game.State.graph))))
+        (String.concat "," (List.map string_of_int final.Game.State.starred))
   in
   let engine = Radio.Engine.run cfg ~adversary:(adversary board) (Array.make n node_body) in
   let digest0 = final_digests.(0) in
   Array.iter (fun h -> if h <> digest0 then diverged := true) final_digests;
-  let delivered =
-    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) delivered_cells [])
-  in
-  let confirmed =
-    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) confirmed_cells [])
-  in
+  let delivered = Det.bindings delivered_cells in
+  let confirmed = Det.keys confirmed_cells in
   let failed =
     List.sort compare
       (List.filter (fun pair -> not (Hashtbl.mem delivered_cells pair)) pairs)

@@ -26,9 +26,8 @@ let run ?(max_rounds = 200_000) ~cfg ~rumors ~adversary () =
       incr r;
       let chan = Prng.Rng.int ctx.rng channels in
       if Prng.Rng.bool ctx.rng then begin
-        let entries = Hashtbl.fold (fun owner body acc -> (owner, body) :: acc) known.(id) [] in
         Radio.Engine.transmit ~chan
-          (Radio.Frame.Vector { owner = id; entries = List.sort compare entries })
+          (Radio.Frame.Vector { owner = id; entries = Det.bindings known.(id) })
       end
       else begin
         match Radio.Engine.listen ~chan with
@@ -51,7 +50,7 @@ let run ?(max_rounds = 200_000) ~cfg ~rumors ~adversary () =
   let fake_rumors_accepted =
     Array.fold_left
       (fun acc h ->
-        Hashtbl.fold (fun owner body acc -> if body <> rumors owner then acc + 1 else acc) h acc)
+        Det.fold (fun owner body acc -> if body <> rumors owner then acc + 1 else acc) h acc)
       0 known
   in
   { engine; rounds_to_completion = !completion_round; coverage; fake_rumors_accepted }

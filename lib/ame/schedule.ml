@@ -91,6 +91,10 @@ let role_of t id =
     else if t.receiver.(c) = Some id then
       (match t.items.(c) with
        | Game.State.Edge e -> Receive { channel = c; edge = e }
+       (* [make] only assigns a receiver on Edge channels, so this arm is
+          unreachable by construction; crashing loudly beats
+          mis-scheduling silently. *)
+       (* radio-lint: allow partial-assert-false *)
        | Game.State.Node _ -> assert false)
     else if Array.exists (fun w -> w = id) t.watchers.(c) then Watch { channel = c }
     else scan (c + 1)

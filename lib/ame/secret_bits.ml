@@ -78,7 +78,7 @@ let run ~rounds ~cfg ~sender ~receiver ~eavesdrop_channels ?(jam_budget = 0) () 
      values (indices are public, contents are not).  The eavesdropper knows
      an agreed value iff the channel the sender used that round is in its
      monitored set. *)
-  let agreed_rounds = List.sort compare (Hashtbl.fold (fun r _ acc -> r :: acc) got []) in
+  let agreed_rounds = Det.keys got in
   let overheard =
     List.length
       (List.filter

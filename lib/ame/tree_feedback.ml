@@ -42,10 +42,7 @@ let run ~my_id ~rng ~channels ~budget ~reps ~witnesses ~my_flag =
         flags
     | Some _ | None -> ()
   in
-  let my_set () =
-    Radio.Frame.Feedback_set
-      (List.sort compare (Hashtbl.fold (fun c f acc -> (c, f) :: acc) known []))
-  in
+  let my_set () = Radio.Frame.Feedback_set (Det.bindings known) in
   let group_size = budget + 1 in
   (* Merge levels: two directions each (even sub-phase: lower half sends). *)
   for level = 0 to levels_of groups - 1 do
@@ -91,5 +88,4 @@ let run ~my_id ~rng ~channels ~budget ~reps ~witnesses ~my_flag =
       Radio.Engine.transmit ~chan:((rank + r) mod pool_size) (my_set ())
     | Some _ | None -> absorb (Radio.Engine.listen ~chan:(Prng.Rng.int rng d_channels))
   done;
-  List.sort compare
-    (Hashtbl.fold (fun c flag acc -> if flag then c :: acc else acc) known [])
+  List.filter_map (fun (c, flag) -> if flag then Some c else None) (Det.bindings known)

@@ -1,0 +1,24 @@
+(** Deterministic views of [Hashtbl].
+
+    [Hashtbl.fold]/[iter]/[to_seq] visit bindings in an unspecified order,
+    which leaks table layout into anything that consumes them — a
+    reproducibility hazard the [nondet-hashtbl-order] lint rule forbids in
+    simulated paths.  These helpers are the sanctioned alternative: every
+    traversal is keyed to a sort with polymorphic [compare], so the result
+    depends only on the table's contents.
+
+    All functions cost an extra O(n log n) sort; tables on hot paths
+    should be consumed once, not per round. *)
+
+val bindings : ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings, sorted by key ([compare]).  With unique keys this equals
+    [List.sort compare] of the binding list. *)
+
+val keys : ('k, 'v) Hashtbl.t -> 'k list
+(** All keys, sorted ([compare]). *)
+
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) Hashtbl.t -> 'acc -> 'acc
+(** [fold f t init] folds over bindings in ascending key order. *)
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** [iter f t] visits bindings in ascending key order. *)

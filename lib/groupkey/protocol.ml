@@ -102,9 +102,7 @@ let run ?(ame_params = Ame.Params.default) ?dh_params ?(part2_beta = 4.0) ?(part
       | None -> ())
     nodes;
   let majority_key, majority_count =
-    Hashtbl.fold
-      (fun k c (bk, bc) -> if c > bc then (Some k, c) else (bk, bc))
-      tally (None, 0)
+    Det.fold (fun k c (bk, bc) -> if c > bc then (Some k, c) else (bk, bc)) tally (None, 0)
   in
   let wrong =
     Array.fold_left

@@ -67,7 +67,7 @@ let run ?(part2_beta = 4.0) ?(part3_beta = 4.0) ?(seed_salt = 0x4E657741L) ~cfg 
         | None -> ())
     group_key;
   let majority_key, majority_count =
-    Hashtbl.fold (fun k c (bk, bc) -> if c > bc then (Some k, c) else (bk, bc)) tally (None, 0)
+    Det.fold (fun k c (bk, bc) -> if c > bc then (Some k, c) else (bk, bc)) tally (None, 0)
   in
   let wrong =
     let count = ref 0 in

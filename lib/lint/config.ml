@@ -1,0 +1,197 @@
+(* Hand-rolled parser for the `lint.toml`-style configuration.  The
+   grammar is the small TOML subset the linter needs — `[section]`
+   headers, `key = value` with string / bool / string-array values, `#`
+   comments — parsed line by line with no external dependency.  Arrays
+   may span lines until the closing bracket. *)
+
+type rule_cfg = {
+  enabled : bool;
+  allow : string list;  (* path prefixes where hits are suppressed *)
+  scope : string list;  (* path prefixes the rule applies to; [] = everywhere *)
+}
+
+let default_rule = { enabled = true; allow = []; scope = [] }
+
+type t = {
+  roots : string list;
+  rules : (string * rule_cfg) list;
+}
+
+let default = { roots = [ "lib"; "bin" ]; rules = [] }
+
+let rule_cfg t id =
+  match List.assoc_opt id t.rules with
+  | Some c -> c
+  | None -> default_rule
+
+(* A prefix matches a path when it names the path itself, a parent
+   directory (prefix ends in '/' or the next path char is '/'), or any
+   leading portion ending at a separator — so "lib/prng" matches
+   "lib/prng/rng.ml" but not "lib/prng_x/evil.ml". *)
+let prefix_matches path prefix =
+  let lp = String.length prefix in
+  if lp = 0 then false
+  else if String.length path < lp then false
+  else if String.sub path 0 lp <> prefix then false
+  else
+    String.length path = lp
+    || prefix.[lp - 1] = '/'
+    || path.[lp] = '/'
+
+let path_in prefixes path = List.exists (prefix_matches path) prefixes
+
+(* --- parsing ------------------------------------------------------- *)
+
+let trim = String.trim
+
+let is_blank line = trim line = "" || (trim line).[0] = '#'
+
+let strip_inline_comment line =
+  (* Drop a trailing comment, tracking double quotes so '#' inside a
+     string literal survives. *)
+  let buf = Buffer.create (String.length line) in
+  let in_string = ref false in
+  (try
+     String.iter
+       (fun c ->
+         if c = '"' then in_string := not !in_string;
+         if c = '#' && not !in_string then raise Exit;
+         Buffer.add_char buf c)
+       line
+   with Exit -> ());
+  Buffer.contents buf
+
+let parse_string_literal ~line s =
+  let s = trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then Ok (String.sub s 1 (n - 2))
+  else Error (Printf.sprintf "line %d: expected a double-quoted string, got %S" line s)
+
+type value =
+  | Bool of bool
+  | Str of string
+  | Str_list of string list
+
+let parse_array ~line s =
+  let n = String.length s in
+  let inner = trim (String.sub s 1 (n - 2)) in
+  if inner = "" then Ok (Str_list [])
+  else
+    let parts = String.split_on_char ',' inner in
+    let parts = List.filter (fun p -> trim p <> "") parts in
+    let rec go acc = function
+      | [] -> Ok (Str_list (List.rev acc))
+      | p :: rest -> (
+        match parse_string_literal ~line p with
+        | Ok s -> go (s :: acc) rest
+        | Error e -> Error e)
+    in
+    go [] parts
+
+let parse_value ~line s =
+  let s = trim s in
+  match s with
+  | "true" -> Ok (Bool true)
+  | "false" -> Ok (Bool false)
+  | _ ->
+    if s <> "" && s.[0] = '[' then parse_array ~line s
+    else Result.map (fun v -> Str v) (parse_string_literal ~line s)
+
+type section =
+  | Top  (* before any header *)
+  | Lint
+  | Rule of string
+
+let parse_section_header ~known ~line s =
+  let n = String.length s in
+  let name = trim (String.sub s 1 (n - 2)) in
+  if name = "lint" then Ok Lint
+  else
+    match String.index_opt name '.' with
+    | Some i when String.sub name 0 i = "rule" ->
+      let id = String.sub name (i + 1) (String.length name - i - 1) in
+      if List.mem id known then Ok (Rule id)
+      else Error (Printf.sprintf "line %d: unknown rule id %S in section header" line id)
+    | _ -> Error (Printf.sprintf "line %d: unknown section [%s]" line name)
+
+let set_rule rules id f =
+  let cur = match List.assoc_opt id rules with Some c -> c | None -> default_rule in
+  (id, f cur) :: List.remove_assoc id rules
+
+let parse_string ?(known = Rules.ids) text =
+  let lines = String.split_on_char '\n' text in
+  (* Join multi-line arrays: while a value opens '[' without closing it,
+     splice following lines in. *)
+  let rec join acc pending pending_line = function
+    | [] ->
+      if pending = "" then Ok (List.rev acc)
+      else Error (Printf.sprintf "line %d: unterminated array" pending_line)
+    | (ln, line) :: rest ->
+      let line = strip_inline_comment line in
+      if pending <> "" then
+        let merged = pending ^ " " ^ trim line in
+        if String.contains line ']' then join ((pending_line, merged) :: acc) "" 0 rest
+        else join acc merged pending_line rest
+      else if
+        String.contains line '['
+        && (not (String.contains line ']'))
+        && String.contains line '='
+        && not (is_blank line)
+      then join acc line ln rest
+      else join ((ln, line) :: acc) "" 0 rest
+  in
+  let numbered = List.mapi (fun i l -> (i + 1, l)) lines in
+  match join [] "" 0 numbered with
+  | Error e -> Error e
+  | Ok joined ->
+    let rec go section cfg = function
+      | [] -> Ok cfg
+      | (_, line) :: rest when is_blank line -> go section cfg rest
+      | (ln, line) :: rest -> (
+        let s = trim line in
+        if s.[0] = '[' && s.[String.length s - 1] = ']' then
+          match parse_section_header ~known ~line:ln s with
+          | Ok sec -> go sec cfg rest
+          | Error e -> Error e
+        else
+          match String.index_opt s '=' with
+          | None -> Error (Printf.sprintf "line %d: expected 'key = value', got %S" ln s)
+          | Some i -> (
+            let key = trim (String.sub s 0 i) in
+            let raw = String.sub s (i + 1) (String.length s - i - 1) in
+            match parse_value ~line:ln raw with
+            | Error e -> Error e
+            | Ok v -> (
+              match (section, key, v) with
+              | Lint, "roots", Str_list roots -> go section { cfg with roots } rest
+              | Lint, "roots", _ ->
+                Error (Printf.sprintf "line %d: 'roots' takes a string array" ln)
+              | Rule id, "enabled", Bool b ->
+                go section
+                  { cfg with rules = set_rule cfg.rules id (fun c -> { c with enabled = b }) }
+                  rest
+              | Rule id, "allow", Str_list allow ->
+                go section
+                  { cfg with rules = set_rule cfg.rules id (fun c -> { c with allow }) }
+                  rest
+              | Rule id, "scope", Str_list scope ->
+                go section
+                  { cfg with rules = set_rule cfg.rules id (fun c -> { c with scope }) }
+                  rest
+              | Rule _, ("enabled" | "allow" | "scope"), _ ->
+                Error (Printf.sprintf "line %d: bad value type for %S" ln key)
+              | (Top | Lint | Rule _), _, _ ->
+                Error (Printf.sprintf "line %d: unknown key %S here" ln key))))
+    in
+    go Top default joined
+
+let load ?known path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    parse_string ?known text

@@ -1,0 +1,23 @@
+(** The `radio_lint` rule catalogue: ids, families, and one-line
+    summaries.  Detection logic lives in {!Engine}. *)
+
+type family =
+  | Nondet  (** randomness, clocks, OS state, hash-order escapes *)
+  | Partiality  (** functions that can raise in protocol modules *)
+  | Global_state  (** module-level mutable state *)
+  | Io  (** printing from library code *)
+  | Interface  (** public-surface hygiene (.mli coverage) *)
+
+type t = {
+  id : string;  (** stable rule id, e.g. ["nondet-random"] *)
+  family : family;
+  summary : string;  (** one-line description used in reports *)
+}
+
+val family_name : family -> string
+
+val all : t list
+
+val ids : string list
+
+val find : string -> t option

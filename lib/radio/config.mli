@@ -1,0 +1,39 @@
+(** Static parameters of a simulated network (Section 3 of the paper).
+
+    [n] nodes, [channels] = C communication channels, adversary budget [t]
+    channels per round (t < C).  [seed] makes the whole run deterministic.
+    [max_rounds] bounds runaway protocols; [record_transcript] retains the
+    full per-round history for tests and debugging (costs memory). *)
+
+type t = {
+  n : int;
+  channels : int;
+  t : int;
+  seed : int64;
+  max_rounds : int;
+  record_transcript : bool;
+}
+
+val default_max_rounds : int
+(** Generous ceiling for experiment-scale runs: far above any honest
+    completion time, low enough that a divergent protocol still
+    terminates.  Shared by the experiment harness and the test suite. *)
+
+val make :
+  ?seed:int64 ->
+  ?max_rounds:int ->
+  ?record_transcript:bool ->
+  n:int ->
+  channels:int ->
+  t:int ->
+  unit ->
+  t
+(** Validates [channels >= 2], [0 <= t < channels], [n >= 2]; raises
+    [Invalid_argument] otherwise. *)
+
+val ample_nodes : t -> bool
+(** The paper's standing assumption (Section 4): n > 3(t+1)^2 + 2(t+1),
+    required by f-AME's witness/surrogate scheduling but not by the raw
+    simulator. *)
+
+val pp : Format.formatter -> t -> unit

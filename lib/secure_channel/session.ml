@@ -74,11 +74,10 @@ let feed r ~sender payload =
     end
 
 let pending r =
-  List.sort compare
-    (Hashtbl.fold
-       (fun (sender, msg_id) partial acc ->
-         (sender, msg_id, Hashtbl.length partial.pieces, partial.count) :: acc)
-       r.partials [])
+  List.map
+    (fun ((sender, msg_id), partial) ->
+      (sender, msg_id, Hashtbl.length partial.pieces, partial.count))
+    (Det.bindings r.partials)
 
 type delivery = {
   sender : int;

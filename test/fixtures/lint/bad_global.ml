@@ -1,0 +1,18 @@
+(* Lint fixture: module-level mutable state, including inside a
+   submodule; the function-local ref at the end must NOT fire. *)
+
+let cache : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let hits = ref 0
+
+let scratch = Buffer.create 80
+
+module Inner = struct
+  let nested = ref []
+end
+
+let counter () =
+  let c = ref 0 in
+  fun () ->
+    incr c;
+    !c

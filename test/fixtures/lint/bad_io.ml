@@ -1,0 +1,9 @@
+(* Lint fixture: printing from library code. *)
+
+let shout () = print_endline "hello"
+
+let report n = Printf.printf "n = %d\n" n
+
+let warn msg = Format.eprintf "warning: %s@." msg
+
+let channel () = Format.std_formatter

@@ -1,0 +1,15 @@
+(* Lint fixture: every nondeterminism escape fires. *)
+
+let pick () = Random.int 6
+
+let stamp () = Sys.time ()
+
+let wall () = Unix.gettimeofday ()
+
+let entries h = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []
+
+let spread h = Hashtbl.iter (fun _ _ -> ()) h
+
+let stream h = Hashtbl.to_seq h
+
+let fingerprint x = Hashtbl.hash x

@@ -1,0 +1,11 @@
+(* Lint fixture: partial functions in (fixture-scoped) protocol code. *)
+
+let first xs = List.hd xs
+
+let select xs n = List.nth xs n
+
+let force o = Option.get o
+
+let peek a = Array.unsafe_get a 0
+
+let unreachable () = assert false

@@ -1,0 +1,3 @@
+(* Lint fixture: a library module with no .mli. *)
+
+let answer = 42

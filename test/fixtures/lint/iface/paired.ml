@@ -1,0 +1,3 @@
+(* Lint fixture: a module whose .mli exists. *)
+
+let answer = 42

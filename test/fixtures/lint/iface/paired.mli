@@ -1,0 +1,3 @@
+(** Lint fixture: the interface that makes [paired.ml] compliant. *)
+
+val answer : int

@@ -1,0 +1,6 @@
+(* Lint fixture: module-level mutable state that the test config
+   allowlists wholesale (a blessed registry module). *)
+
+let registry : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let registered = ref 0

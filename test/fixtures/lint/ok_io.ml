@@ -1,0 +1,9 @@
+(* Lint fixture: printing quieted by escape comments; fprintf to a
+   caller-supplied formatter is always fine. *)
+
+(* radio-lint: allow io-print *)
+let shout () = print_endline "hello"
+
+let report n = Printf.printf "n = %d\n" n (* radio-lint: allow io-print *)
+
+let render fmt n = Format.fprintf fmt "n = %d@." n

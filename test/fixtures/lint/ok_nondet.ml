@@ -1,0 +1,21 @@
+(* Lint fixture: the same escapes, each quieted by an escape comment
+   (same line or the line above). *)
+
+let pick () = Random.int 6 (* radio-lint: allow nondet-random — fixture *)
+
+(* radio-lint: allow nondet-time *)
+let stamp () = Sys.time ()
+
+(* radio-lint: allow nondet-unix — justification text is ignored *)
+let wall () = Unix.gettimeofday ()
+
+(* radio-lint: allow nondet-hashtbl-order *)
+let entries h = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []
+
+let spread h = Hashtbl.iter (fun _ _ -> ()) h (* radio-lint: allow nondet-hashtbl-order *)
+
+(* radio-lint: allow nondet-hashtbl-order *)
+let stream h = Hashtbl.to_seq h
+
+(* radio-lint: allow nondet-poly-hash *)
+let fingerprint x = Hashtbl.hash x

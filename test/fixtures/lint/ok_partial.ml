@@ -1,0 +1,15 @@
+(* Lint fixture: the same partial calls, escape-commented. *)
+
+(* radio-lint: allow partial-list *)
+let first xs = List.hd xs
+
+let select xs n = List.nth xs n (* radio-lint: allow partial-list *)
+
+(* radio-lint: allow partial-option-get *)
+let force o = Option.get o
+
+(* radio-lint: allow partial-array-unsafe *)
+let peek a = Array.unsafe_get a 0
+
+(* radio-lint: allow partial-assert-false *)
+let unreachable () = assert false
