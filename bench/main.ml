@@ -21,6 +21,36 @@ open Bechamel
 let sha_input_small = String.make 64 'x'
 let sha_input_large = String.make 4096 'y'
 
+(* Engine throughput benches: one "run" simulates [rounds_per_run] rounds, so
+   rounds/sec = rounds_per_run / (ns_per_run / 1e9).  The 2t2 configuration is
+   Figure 3's large-channel regime (C = 2t^2 at t = 8), where per-round channel
+   resolution dominates.  The workload is a busy DGGN epoch: n/2 disjoint
+   sender/receiver pairs, each pair hopping over its own deterministic channel
+   schedule, while a sweep jammer spends the full budget every round — the hop
+   arithmetic is trivial on purpose so the benchmark measures the engine's
+   round machinery, not the node bodies. *)
+let rounds_per_run = 200
+
+let engine_bench ~name ~n ~channels ~t =
+  let hop ~round ~slot = (31 * round + (17 * slot)) mod channels in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let cfg = Radio.Config.make ~n ~channels ~t ~seed:11L () in
+         let adversary = Radio.Adversary.sweep_jammer ~channels ~budget:t in
+         ignore
+           (Radio.Engine.run_nodes cfg ~adversary (fun (ctx : Radio.Engine.ctx) ->
+                let id = ctx.Radio.Engine.id in
+                let slot = id / 2 in
+                if id land 1 = 0 then
+                  for round = 1 to rounds_per_run do
+                    Radio.Engine.transmit ~chan:(hop ~round ~slot)
+                      (Radio.Frame.Plain { src = id; dst = id + 1; body = "x" })
+                  done
+                else
+                  for round = 1 to rounds_per_run do
+                    ignore (Radio.Engine.listen ~chan:(hop ~round ~slot))
+                  done))))
+
 let micro_tests () =
   let greedy_move =
     let g = Rgraph.Digraph.of_edges (Rgraph.Workload.complete ~n:10) in
@@ -88,18 +118,57 @@ let micro_tests () =
     let rng = Prng.Rng.create 9L in
     Test.make ~name:"prng/bits64" (Staged.stage (fun () -> ignore (Prng.Rng.bits64 rng)))
   in
-  [ prng; sha_small; sha_large; hmac; dh; seal; vc; greedy_move; game_full; engine_round;
-    fame_small ]
+  let engine_small = engine_bench ~name:"engine/rounds-per-sec-small" ~n:8 ~channels:2 ~t:1 in
+  let engine_2t2 =
+    engine_bench ~name:"engine/rounds-per-sec-2t2" ~n:64 ~channels:128 ~t:8
+  in
+  let prf_naive =
+    Test.make ~name:"crypto/prf-channel-hop-naive"
+      (Staged.stage (fun () ->
+           ignore (Crypto.Prf.channel_hop ~key:"shared-hop-key" ~round:12345 ~channels:128)))
+  in
+  let prf_keyed =
+    let handle = Crypto.Prf.Keyed.create "shared-hop-key" in
+    Test.make ~name:"crypto/prf-channel-hop-keyed"
+      (Staged.stage (fun () ->
+           ignore (Crypto.Prf.Keyed.channel_hop handle ~round:12345 ~channels:128)))
+  in
+  let hmac_keyed =
+    let handle = Crypto.Hmac.key "key" in
+    Test.make ~name:"crypto/hmac-sha256-keyed"
+      (Staged.stage (fun () -> ignore (Crypto.Hmac.mac_keyed handle sha_input_small)))
+  in
+  [ prng; sha_small; sha_large; hmac; hmac_keyed; dh; seal; vc; greedy_move; game_full;
+    engine_round; fame_small; engine_small; engine_2t2; prf_naive; prf_keyed ]
 
+type micro_row = {
+  bench_name : string;
+  ns_per_run : float;
+  minor_words_per_run : float;
+}
+
+(* Runs the Bechamel suite, printing the human table, and returns the rows
+   for the structured --bench-json emitter. *)
 let run_micro () =
   print_endline "\n== Micro-benchmarks (Bechamel, monotonic clock) ==\n";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
-  List.iter
+  let clock = Toolkit.Instance.monotonic_clock in
+  let minor = Toolkit.Instance.minor_allocated in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) () in
+  let estimate analyzed name =
+    match Hashtbl.find_opt analyzed name with
+    | Some ols_result -> (
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> est
+      | Some [] | None -> nan)
+    | None -> nan
+  in
+  List.concat_map
     (fun test ->
-      let results = Benchmark.all cfg [ instance ] test in
-      let analyzed = Analyze.all ols instance results in
+      let results = Benchmark.all cfg [ clock; minor ] test in
+      let by_time = Analyze.all ols clock results in
+      let by_minor = Analyze.all ols minor results in
+      let rows = ref [] in
       Det.iter
         (fun name ols_result ->
           let ns =
@@ -107,10 +176,13 @@ let run_micro () =
             | Some (est :: _) -> est
             | Some [] | None -> nan
           in
+          let words = estimate by_minor name in
           if ns > 1_000_000.0 then Printf.printf "  %-28s %10.2f ms/run\n" name (ns /. 1e6)
           else if ns > 1_000.0 then Printf.printf "  %-28s %10.2f us/run\n" name (ns /. 1e3)
-          else Printf.printf "  %-28s %10.2f ns/run\n" name ns)
-        analyzed)
+          else Printf.printf "  %-28s %10.2f ns/run\n" name ns;
+          rows := { bench_name = name; ns_per_run = ns; minor_words_per_run = words } :: !rows)
+        by_time;
+      List.rev !rows)
     (micro_tests ())
 
 let render_outcome (o : Experiments.Runner.outcome) =
@@ -131,17 +203,59 @@ let timing_summary outcomes =
   Printf.printf "  total %7.2fs\n"
     (List.fold_left (fun acc (o : Experiments.Runner.outcome) -> acc +. o.wall_s) 0.0 outcomes)
 
+(* The radio-bench/v1 document: micro-benchmark estimates plus a determinism
+   fingerprint (rendered-output hash and round count) per experiment.  The
+   fingerprint fields are exact — bench_compare gates on them — while the
+   timing fields are environment-dependent and only ever reported. *)
+let bench_json ~quick ~micro_rows ~outcomes =
+  let open Experiments in
+  Json.Obj
+    [ ("schema", Json.String "radio-bench/v1");
+      ("quick", Json.Bool quick);
+      ( "micro",
+        Json.List
+          (List.map
+             (fun row ->
+               Json.Obj
+                 [ ("name", Json.String row.bench_name);
+                   ("ns_per_run", Json.Float row.ns_per_run);
+                   ( "ops_per_sec",
+                     Json.Float (if row.ns_per_run > 0.0 then 1e9 /. row.ns_per_run else nan) );
+                   ("minor_words_per_run", Json.Float row.minor_words_per_run) ])
+             micro_rows) );
+      ( "determinism",
+        Json.List
+          (List.map
+             (fun (o : Runner.outcome) ->
+               Json.Obj
+                 [ ("id", Json.String o.experiment.Registry.id);
+                   ("total_rounds", Json.Int o.result.Common.total_rounds);
+                   ( "output_sha256",
+                     Json.String
+                       (Crypto.Sha256.digest_hex (Format.asprintf "%a" Runner.render o)) ) ])
+             outcomes) ) ]
+
+let write_bench_json ~path ~quick ~micro_rows ~outcomes =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Experiments.Json.to_string (bench_json ~quick ~micro_rows ~outcomes));
+      output_char oc '\n')
+
 type cli = {
   quick : bool;
   micro : bool;
   jobs : int;
   json : string option;
+  bench_json : string option;
   ids : string list;
 }
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [quick] [micro] [ID...] [--jobs N] [--json PATH]\navailable: %s, micro\n"
+    "usage: main.exe [quick] [micro] [ID...] [--jobs N] [--json PATH] [--bench-json PATH]\n\
+     available: %s, micro\n"
     (String.concat ", " Experiments.Registry.ids);
   exit 1
 
@@ -155,12 +269,14 @@ let parse_args args =
        | Some jobs when jobs >= 1 -> go { acc with jobs } rest
        | _ -> usage ())
     | "--json" :: path :: rest -> go { acc with json = Some path } rest
+    | "--bench-json" :: path :: rest -> go { acc with bench_json = Some path } rest
     | id :: rest ->
       if Experiments.Registry.find id = None then usage ()
       else go { acc with ids = acc.ids @ [ id ] } rest
   in
   go
-    { quick = false; micro = false; jobs = Parallel.default_jobs (); json = None; ids = [] }
+    { quick = false; micro = false; jobs = Parallel.default_jobs (); json = None;
+      bench_json = None; ids = [] }
     args
 
 let () =
@@ -170,26 +286,38 @@ let () =
      tables; explicit ids skip micro unless it is also requested. *)
   let run_experiments = cli.ids <> [] || not cli.micro in
   let run_micro_too = cli.micro || cli.ids = [] in
-  if run_experiments then begin
-    let experiments =
-      match cli.ids with
-      | [] -> Experiments.Registry.all
-      | ids -> List.filter_map Experiments.Registry.find ids
-    in
-    let outcomes =
-      Experiments.Runner.run_many ~quick:cli.quick ~jobs:cli.jobs experiments
-    in
-    List.iter render_outcome outcomes;
-    timing_summary outcomes;
-    match cli.json with
-    | Some path -> (
-      match
-        Experiments.Runner.write_json ~path ~quick:cli.quick ~jobs:cli.jobs outcomes
-      with
-      | () -> Printf.printf "structured results written to %s\n" path
-      | exception Sys_error msg ->
-        Printf.eprintf "cannot write --json results: %s\n" msg;
-        exit 1)
-    | None -> ()
-  end;
-  if run_micro_too then run_micro ()
+  let outcomes =
+    if not run_experiments then []
+    else begin
+      let experiments =
+        match cli.ids with
+        | [] -> Experiments.Registry.all
+        | ids -> List.filter_map Experiments.Registry.find ids
+      in
+      let outcomes =
+        Experiments.Runner.run_many ~quick:cli.quick ~jobs:cli.jobs experiments
+      in
+      List.iter render_outcome outcomes;
+      timing_summary outcomes;
+      (match cli.json with
+       | Some path -> (
+         match
+           Experiments.Runner.write_json ~path ~quick:cli.quick ~jobs:cli.jobs outcomes
+         with
+         | () -> Printf.printf "structured results written to %s\n" path
+         | exception Sys_error msg ->
+           Printf.eprintf "cannot write --json results: %s\n" msg;
+           exit 1)
+       | None -> ());
+      outcomes
+    end
+  in
+  let micro_rows = if run_micro_too then run_micro () else [] in
+  match cli.bench_json with
+  | Some path -> (
+    match write_bench_json ~path ~quick:cli.quick ~micro_rows ~outcomes with
+    | () -> Printf.printf "benchmark baseline written to %s\n" path
+    | exception Sys_error msg ->
+      Printf.eprintf "cannot write --bench-json results: %s\n" msg;
+      exit 1)
+  | None -> ()

@@ -1,0 +1,97 @@
+(* Compare two radio-bench/v1 documents (see bench/main.ml --bench-json).
+
+   Usage: bench_compare BASELINE.json CURRENT.json
+
+   Determinism fields (per-experiment total_rounds and output_sha256) are a
+   hard gate: any drift, or an experiment that disappeared, exits nonzero.
+   Timing fields (ns/run, ops/sec, minor words) are environment-dependent
+   and only reported, never gated — CI machines and laptops disagree on
+   speed, but never on simulated bytes. *)
+
+module Json = Experiments.Json
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
+
+let load path =
+  let contents =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error msg -> die "cannot read %s: %s" path msg
+  in
+  match Json.of_string contents with
+  | Ok doc -> doc
+  | Error msg -> die "%s: malformed JSON: %s" path msg
+
+let check_schema path doc =
+  match Option.bind (Json.member "schema" doc) Json.to_string_opt with
+  | Some "radio-bench/v1" -> ()
+  | Some other -> die "%s: unsupported schema %S (want radio-bench/v1)" path other
+  | None -> die "%s: missing schema field" path
+
+let rows key doc =
+  match Option.bind (Json.member key doc) Json.to_list with
+  | Some items -> items
+  | None -> []
+
+let str_field name row = Option.bind (Json.member name row) Json.to_string_opt
+let int_field name row = Option.bind (Json.member name row) Json.to_int_opt
+let float_field name row = Option.bind (Json.member name row) Json.to_float_opt
+
+let assoc_rows ~key_field items =
+  List.filter_map
+    (fun row -> Option.map (fun k -> (k, row)) (str_field key_field row))
+    items
+
+let () =
+  let baseline_path, current_path =
+    match Sys.argv with
+    | [| _; b; c |] -> (b, c)
+    | _ ->
+      prerr_endline "usage: bench_compare BASELINE.json CURRENT.json";
+      exit 2
+  in
+  let baseline = load baseline_path and current = load current_path in
+  check_schema baseline_path baseline;
+  check_schema current_path current;
+  (* -- determinism gate -- *)
+  let base_det = assoc_rows ~key_field:"id" (rows "determinism" baseline) in
+  let cur_det = assoc_rows ~key_field:"id" (rows "determinism" current) in
+  let drift = ref 0 in
+  let complain fmt = Printf.ksprintf (fun msg -> incr drift; Printf.printf "DRIFT %s\n" msg) fmt in
+  List.iter
+    (fun (id, base_row) ->
+      match List.assoc_opt id cur_det with
+      | None -> complain "%s: experiment missing from %s" id current_path
+      | Some cur_row ->
+        (match (int_field "total_rounds" base_row, int_field "total_rounds" cur_row) with
+         | Some b, Some c when b <> c -> complain "%s: total_rounds %d -> %d" id b c
+         | _ -> ());
+        (match (str_field "output_sha256" base_row, str_field "output_sha256" cur_row) with
+         | Some b, Some c when b <> c -> complain "%s: output_sha256 %s -> %s" id b c
+         | _ -> ()))
+    base_det;
+  List.iter
+    (fun (id, _) ->
+      if not (List.mem_assoc id base_det) then
+        Printf.printf "note: %s present only in %s (new experiment?)\n" id current_path)
+    cur_det;
+  (* -- timing report (informational only) -- *)
+  let base_micro = assoc_rows ~key_field:"name" (rows "micro" baseline) in
+  let cur_micro = assoc_rows ~key_field:"name" (rows "micro" current) in
+  if base_micro <> [] && cur_micro <> [] then begin
+    Printf.printf "\n%-32s %12s %12s %8s\n" "micro-benchmark" "base ns" "cur ns" "speedup";
+    List.iter
+      (fun (name, base_row) ->
+        match List.assoc_opt name cur_micro with
+        | None -> Printf.printf "%-32s %12s %12s %8s\n" name "-" "-" "gone"
+        | Some cur_row -> (
+          match (float_field "ns_per_run" base_row, float_field "ns_per_run" cur_row) with
+          | Some b, Some c when c > 0.0 ->
+            Printf.printf "%-32s %12.1f %12.1f %7.2fx\n" name b c (b /. c)
+          | _ -> Printf.printf "%-32s %12s %12s %8s\n" name "?" "?" "?"))
+      base_micro
+  end;
+  if !drift > 0 then begin
+    Printf.printf "\n%d determinism drift(s): simulated output changed.\n" !drift;
+    exit 1
+  end
+  else print_endline "\ndeterminism: OK (simulated outputs byte-identical to baseline)"

@@ -26,7 +26,7 @@ let schedule_jammer board ~channels ~budget ~prefer =
             List.sort (fun a b -> compare (score a, fst a) (score b, fst b)) entry.Oracle.kinds
           in
           take budget (List.map (fun (chan, _) -> jam chan) ranked));
-    observe = (fun _ -> ()) }
+    observe = (fun _ -> ()); observes = false }
 
 let triangle_jammer board ~channels ~budget ~triple_of =
   ignore channels;
@@ -46,7 +46,7 @@ let triangle_jammer board ~channels ~budget ~triple_of =
           in
           let targets = List.filter intra entry.Oracle.kinds in
           take budget (List.map (fun (chan, _) -> jam chan) targets));
-    observe = (fun _ -> ()) }
+    observe = (fun _ -> ()); observes = false }
 
 let feedback_suppressor board ~channels ~budget rng =
   { Radio.Adversary.name = "feedback-suppressor";
@@ -58,4 +58,4 @@ let feedback_suppressor board ~channels ~budget rng =
           let arr = Array.init channels Fun.id in
           Prng.Rng.shuffle rng arr;
           List.init (min budget channels) (fun i -> jam arr.(i)));
-    observe = (fun _ -> ()) }
+    observe = (fun _ -> ()); observes = false }

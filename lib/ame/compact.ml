@@ -62,7 +62,7 @@ let chain_spoofer rng cal ~channels ~budget =
                   Some
                     (Radio.Frame.Chain
                        { owner = v; index; body; recon_hash = hash_chain [ body ] }) }));
-    observe = (fun _ -> ()) }
+    observe = (fun _ -> ()); observes = false }
 
 type outcome = {
   gossip_engine : Radio.Engine.result;

@@ -71,7 +71,7 @@ let run ~rounds ~cfg ~sender ~receiver ~eavesdrop_channels ?(jam_budget = 0) () 
           Hashtbl.replace monitored round watched;
           List.filteri (fun i _ -> i < jam_budget) watched
           |> List.map (fun chan -> { Radio.Adversary.chan; spoof = None }));
-      observe = (fun _ -> ()) }
+      observe = (fun _ -> ()); observes = false }
   in
   let engine = Radio.Engine.run cfg ~adversary (Array.make n node_body) in
   (* Public reconciliation: the receiver's round indices select the agreed

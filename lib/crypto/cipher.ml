@@ -12,20 +12,42 @@ let encode_nonce n =
 
 let xor_with a b =
   assert (String.length a = String.length b);
-  String.init (String.length a) (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+  let n = String.length a in
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set out i
+      (Char.unsafe_chr (Char.code (String.unsafe_get a i) lxor Char.code (String.unsafe_get b i)))
+  done;
+  Bytes.unsafe_to_string out
 
-let seal ~key ~nonce plaintext =
+(* A prepared session key: both domain-separated subkeys derived once, the
+   stream-cipher PRF and the MAC midstates precomputed.  Long-lived callers
+   (the broadcast service, pairwise streams, the group-key dissemination)
+   seal and open under one key for thousands of rounds. *)
+type key = { enc : Prf.Keyed.t; mac : Hmac.key }
+
+let key raw = { enc = Prf.Keyed.create (enc_key raw); mac = Hmac.key (mac_key raw) }
+
+let tag_of k ~nonce body =
+  Hmac.mac_feed k.mac (fun ctx ->
+      Sha256.update ctx nonce;
+      Sha256.update ctx body)
+
+let seal_keyed k ~nonce plaintext =
   let nonce = encode_nonce nonce in
-  let stream = Prf.keystream ~key:(enc_key key) ~nonce (String.length plaintext) in
+  let stream = Prf.Keyed.keystream k.enc ~nonce (String.length plaintext) in
   let body = xor_with plaintext stream in
-  let tag = Hmac.mac ~key:(mac_key key) (nonce ^ body) in
-  { nonce; body; tag }
+  { nonce; body; tag = tag_of k ~nonce body }
 
-let open_ ~key { nonce; body; tag } =
-  if not (Hmac.verify ~key:(mac_key key) ~tag (nonce ^ body)) then None
+let open_keyed k { nonce; body; tag } =
+  if not (Hmac.equal_ct ~expect:(tag_of k ~nonce body) ~tag) then None
   else
-    let stream = Prf.keystream ~key:(enc_key key) ~nonce (String.length body) in
+    let stream = Prf.Keyed.keystream k.enc ~nonce (String.length body) in
     Some (xor_with body stream)
+
+let seal ~key:raw ~nonce plaintext = seal_keyed (key raw) ~nonce plaintext
+
+let open_ ~key:raw sealed = open_keyed (key raw) sealed
 
 let wire_size { nonce; body; tag } =
   String.length nonce + String.length body + String.length tag

@@ -10,9 +10,22 @@
 type sealed = { nonce : string; body : string; tag : string }
 (** A sealed frame: 8-byte nonce, ciphertext, 32-byte tag. *)
 
+type key
+(** A prepared session key: both domain-separated subkeys derived and their
+    PRF/MAC midstates precomputed.  Build once per session with {!key};
+    {!seal_keyed}/{!open_keyed} are byte-identical to {!seal}/{!open_}
+    under the same raw key. *)
+
+val key : string -> key
+
+val seal_keyed : key -> nonce:int64 -> string -> sealed
+
+val open_keyed : key -> sealed -> string option
+
 val seal : key:string -> nonce:int64 -> string -> sealed
 (** [seal ~key ~nonce plaintext].  Nonces must not repeat under one key;
-    callers use the round number, which the synchronous model makes unique. *)
+    callers use the round number, which the synchronous model makes unique.
+    One-shot form of {!seal_keyed}: prepares a throwaway {!type-key}. *)
 
 val open_ : key:string -> sealed -> string option
 (** [open_ ~key sealed] is [Some plaintext] iff the tag verifies. *)

@@ -1,25 +1,68 @@
 let block_size = 64
 
-let normalize_key key =
-  let key = if String.length key > block_size then Sha256.digest key else key in
-  if String.length key = block_size then key
-  else key ^ String.make (block_size - String.length key) '\000'
-
+(* The padded key block XORed with [byte], for a key already at most one
+   block long: shorter keys are implicitly zero-padded (0 lxor byte =
+   byte), with no intermediate normalized-key string. *)
 let xor_pad key byte =
-  String.init block_size (fun i -> Char.chr (Char.code key.[i] lxor byte))
+  let kl = String.length key in
+  let b = Bytes.make block_size (Char.chr byte) in
+  for i = 0 to kl - 1 do
+    Bytes.unsafe_set b i (Char.unsafe_chr (Char.code (String.unsafe_get key i) lxor byte))
+  done;
+  Bytes.unsafe_to_string b
 
-let mac ~key msg =
-  let key = normalize_key key in
-  let inner = Sha256.digest (xor_pad key 0x36 ^ msg) in
-  Sha256.digest (xor_pad key 0x5c ^ inner)
+(* A prepared key: the SHA-256 midstates after absorbing the ipad and opad
+   blocks.  Each MAC then replays a copy of each midstate, saving the two
+   pad-block compressions (and the pad/message concatenations) that the
+   naive construction pays per call. *)
+type key = { inner : Sha256.ctx; outer : Sha256.ctx }
+
+let key raw =
+  let k = if String.length raw > block_size then Sha256.digest raw else raw in
+  let inner = Sha256.init () in
+  Sha256.update inner (xor_pad k 0x36);
+  let outer = Sha256.init () in
+  Sha256.update outer (xor_pad k 0x5c);
+  { inner; outer }
+
+let mac_feed { inner; outer } feed =
+  let ictx = Sha256.copy inner in
+  feed ictx;
+  let inner_digest = Sha256.finalize ictx in
+  let octx = Sha256.copy outer in
+  Sha256.update octx inner_digest;
+  Sha256.finalize octx
+
+let mac_keyed k msg = mac_feed k (fun ctx -> Sha256.update ctx msg)
+
+(* One-shot: feed the pads straight into fresh contexts instead of building
+   a handle, skipping the midstate snapshots a throwaway key would pay. *)
+let mac ~key:raw msg =
+  let k = if String.length raw > block_size then Sha256.digest raw else raw in
+  let ictx = Sha256.init () in
+  Sha256.update ictx (xor_pad k 0x36);
+  Sha256.update ictx msg;
+  let inner_digest = Sha256.finalize ictx in
+  let octx = Sha256.init () in
+  Sha256.update octx (xor_pad k 0x5c);
+  Sha256.update octx inner_digest;
+  Sha256.finalize octx
 
 let mac_hex ~key msg = Sha256.hex_of (mac ~key msg)
 
-let verify ~key ~tag msg =
-  let expect = mac ~key msg in
-  if String.length tag <> String.length expect then false
-  else begin
-    let diff = ref 0 in
-    String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code expect.[i])) tag;
-    !diff = 0
-  end
+(* Constant-time acceptance: the length check is folded into the same
+   accumulator as the byte comparison, and the loop always walks the full
+   expected tag, so timing does not distinguish a wrong-length tag from a
+   wrong-byte tag. *)
+let equal_ct ~expect ~tag =
+  let le = String.length expect and lt = String.length tag in
+  let diff = ref (le lxor lt) in
+  for i = 0 to le - 1 do
+    let t = if lt = 0 then 0xFF else Char.code (String.unsafe_get tag (i mod lt)) in
+    diff := !diff lor (Char.code (String.unsafe_get expect i) lxor t)
+  done;
+  !diff = 0
+
+let verify_keyed k ~tag msg = equal_ct ~expect:(mac_keyed k msg) ~tag
+
+let verify ~key:raw ~tag msg = verify_keyed (key raw) ~tag msg

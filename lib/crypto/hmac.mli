@@ -2,12 +2,45 @@
 
     The message-authentication code used by the authenticated cipher and the
     long-lived communication service.  Verified against the RFC 4231 test
-    vectors in the test suite. *)
+    vectors in the test suite.
+
+    Hot callers (the PRF-driven channel hop, the cipher) MAC thousands of
+    short messages under one key; {!key} prepares that key once — hashing
+    the ipad and opad blocks into reusable SHA-256 midstates — and
+    {!mac_keyed} replays the midstates per message, halving the compression
+    count for short inputs.  The keyed and one-shot entry points produce
+    byte-identical tags. *)
+
+type key
+(** A prepared MAC key (precomputed ipad/opad midstates).  Immutable once
+    built: one [key] may be shared freely within a domain. *)
+
+val key : string -> key
+(** Prepare a raw key string.  Keys longer than the 64-byte block are
+    pre-hashed, exactly as in the one-shot {!mac}. *)
+
+val mac_keyed : key -> string -> string
+(** [mac_keyed k msg] is the 32-byte raw HMAC-SHA256 tag; equal to
+    [mac ~key:raw msg] for [k = key raw]. *)
+
+val mac_feed : key -> (Sha256.ctx -> unit) -> string
+(** [mac_feed k feed] MACs the byte sequence that [feed] pushes into the
+    inner context — the zero-concatenation path used by {!Prf} to absorb
+    label and counter fields without building the message string. *)
 
 val mac : key:string -> string -> string
 (** [mac ~key msg] is the 32-byte raw HMAC-SHA256 tag. *)
 
 val mac_hex : key:string -> string -> string
 
+val verify_keyed : key -> tag:string -> string -> bool
+(** Constant-time acceptance of [tag] for the message: the tag-length check
+    is folded into the byte-comparison accumulator, so a wrong-length tag
+    and a wrong-byte tag are rejected on the same timing path. *)
+
 val verify : key:string -> tag:string -> string -> bool
-(** Constant-time comparison of [tag] against the MAC of the message. *)
+(** One-shot {!verify_keyed}. *)
+
+val equal_ct : expect:string -> tag:string -> bool
+(** The underlying constant-time comparison (length folded in; always walks
+    all of [expect]). *)

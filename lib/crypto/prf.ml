@@ -1,32 +1,50 @@
-let encode_counter n =
-  let b = Bytes.create 8 in
-  for i = 0 to 7 do
-    Bytes.set b i (Char.chr ((n lsr (8 * (7 - i))) land 0xFF))
-  done;
-  Bytes.unsafe_to_string b
+module Keyed = struct
+  type t = { hmac : Hmac.key }
 
-let bytes ~key ~label ~counter = Hmac.mac ~key (label ^ "\x00" ^ encode_counter counter)
+  let create key = { hmac = Hmac.key key }
 
-let int64 ~key ~label ~counter =
-  let raw = bytes ~key ~label ~counter in
-  let acc = ref 0L in
-  for i = 0 to 7 do
-    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code raw.[i]))
-  done;
-  Int64.shift_right_logical !acc 1
+  let bytes t ~label ~counter =
+    (* HMAC(key, label || 0x00 || counter_be8), fed incrementally: no
+       pad/label/counter concatenation, and the ipad/opad compressions are
+       already paid for by the handle. *)
+    Hmac.mac_feed t.hmac (fun ctx ->
+        Sha256.update ctx label;
+        let tail = Bytes.create 9 in
+        Bytes.set tail 0 '\000';
+        Bytes.set_int64_be tail 1 (Int64.of_int counter);
+        Sha256.update_bytes ctx tail ~pos:0 ~len:9)
 
-let below ~key ~label ~counter bound =
-  assert (bound > 0);
-  (* Modulo bias is < bound/2^63: irrelevant for channel counts. *)
-  Int64.to_int (Int64.rem (int64 ~key ~label ~counter) (Int64.of_int bound))
+  let int64 t ~label ~counter =
+    let raw = bytes t ~label ~counter in
+    Int64.shift_right_logical (String.get_int64_be raw 0) 1
 
-let channel_hop ~key ~round ~channels = below ~key ~label:"channel-hop" ~counter:round channels
+  let below t ~label ~counter bound =
+    assert (bound > 0);
+    (* Modulo bias is < bound/2^63: irrelevant for channel counts. *)
+    Int64.to_int (Int64.rem (int64 t ~label ~counter) (Int64.of_int bound))
 
-let keystream ~key ~nonce len =
-  let out = Buffer.create (len + 32) in
-  let block = ref 0 in
-  while Buffer.length out < len do
-    Buffer.add_string out (bytes ~key ~label:("ks|" ^ nonce) ~counter:!block);
-    incr block
-  done;
-  Buffer.sub out 0 len
+  let channel_hop t ~round ~channels = below t ~label:"channel-hop" ~counter:round channels
+
+  let keystream t ~nonce len =
+    let out = Bytes.create len in
+    let label = "ks|" ^ nonce in
+    let off = ref 0 and block = ref 0 in
+    while !off < len do
+      let chunk = bytes t ~label ~counter:!block in
+      let take = min Sha256.digest_size (len - !off) in
+      Bytes.blit_string chunk 0 out !off take;
+      off := !off + take;
+      incr block
+    done;
+    Bytes.unsafe_to_string out
+end
+
+let bytes ~key ~label ~counter = Keyed.bytes (Keyed.create key) ~label ~counter
+
+let int64 ~key ~label ~counter = Keyed.int64 (Keyed.create key) ~label ~counter
+
+let below ~key ~label ~counter bound = Keyed.below (Keyed.create key) ~label ~counter bound
+
+let channel_hop ~key ~round ~channels = Keyed.channel_hop (Keyed.create key) ~round ~channels
+
+let keystream ~key ~nonce len = Keyed.keystream (Keyed.create key) ~nonce len

@@ -3,7 +3,31 @@
     The paper uses shared secret keys as seeds for pseudo-random
     channel-hopping patterns (Sections 6 and 7).  This module provides the
     PRF those patterns are drawn from: deterministic for both parties holding
-    the key, unpredictable to the adversary. *)
+    the key, unpredictable to the adversary.
+
+    The protocols query the PRF with the {e same} key every round, so the
+    hot entry point is {!Keyed}: prepare the key once (precomputing the HMAC
+    midstates), then evaluate per round.  The one-shot functions below are
+    byte-identical conveniences that prepare a throwaway handle per call. *)
+
+module Keyed : sig
+  type t
+  (** A prepared PRF key.  Immutable; build once per key, reuse every
+      round. *)
+
+  val create : string -> t
+
+  val bytes : t -> label:string -> counter:int -> string
+  (** 32 pseudo-random bytes for ([label], [counter]). *)
+
+  val int64 : t -> label:string -> counter:int -> int64
+
+  val below : t -> label:string -> counter:int -> int -> int
+
+  val channel_hop : t -> round:int -> channels:int -> int
+
+  val keystream : t -> nonce:string -> int -> string
+end
 
 val bytes : key:string -> label:string -> counter:int -> string
 (** 32 pseudo-random bytes for ([label], [counter]). *)
@@ -20,5 +44,6 @@ val channel_hop : key:string -> round:int -> channels:int -> int
     [below] with a fixed domain-separation label. *)
 
 val keystream : key:string -> nonce:string -> int -> string
-(** [keystream ~key ~nonce len]: [len] bytes of CTR-mode PRF output, used by
+(** [keystream ~key ~nonce len]: exactly [len] bytes of CTR-mode PRF output
+    (generated directly into the result, no over-allocation), used by
     {!Cipher} as a stream cipher. *)

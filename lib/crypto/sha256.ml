@@ -1,91 +1,103 @@
-(* SHA-256 per FIPS 180-4.  All word arithmetic is on Int32 (wrapping),
-   message length is tracked in bytes as Int64. *)
+(* SHA-256 per FIPS 180-4.
+
+   Word arithmetic is done on the native [int] (63-bit on 64-bit hosts)
+   masked to 32 bits, rather than on boxed [Int32]: the compression loop is
+   the hot path of every MAC and PRF call in the simulator, and native ints
+   keep it allocation-free.  Sums of up to five 32-bit terms stay below
+   2^35, so a single mask per assignment suffices.  Message length is
+   tracked in bytes as Int64. *)
 
 let digest_size = 32
 let block_size = 64
+let mask32 = 0xFFFFFFFF
 
 let k =
-  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl; 0x59f111f1l;
-     0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l; 0x243185bel; 0x550c7dc3l;
-     0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l; 0xc19bf174l; 0xe49b69c1l; 0xefbe4786l;
-     0x0fc19dc6l; 0x240ca1ccl; 0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal;
-     0x983e5152l; 0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
-     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl; 0x53380d13l;
-     0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l; 0xa2bfe8a1l; 0xa81a664bl;
-     0xc24b8b70l; 0xc76c51a3l; 0xd192e819l; 0xd6990624l; 0xf40e3585l; 0x106aa070l;
-     0x19a4c116l; 0x1e376c08l; 0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al;
-     0x5b9cca4fl; 0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
-     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+     0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+     0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+     0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+     0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+     0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+     0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+     0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+     0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+     0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
 
 let initial_h () =
-  [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
-     0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |]
+  [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a;
+     0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |]
 
 type ctx = {
-  h : int32 array;
+  h : int array;
   buf : Bytes.t; (* one block *)
   mutable buf_len : int;
   mutable total_bytes : int64;
-  w : int32 array; (* message schedule scratch *)
+  w : int array; (* message schedule scratch *)
 }
 
 let init () =
   { h = initial_h (); buf = Bytes.create block_size; buf_len = 0; total_bytes = 0L;
-    w = Array.make 64 0l }
+    w = Array.make 64 0 }
 
-let rotr x n = Int32.(logor (shift_right_logical x n) (shift_left x (32 - n)))
-let shr x n = Int32.shift_right_logical x n
+let copy ctx =
+  (* [w] is per-block scratch, fully rewritten before every read inside one
+     [compress] call, so sharing it between a context and its copies is
+     safe within a domain — and keeps midstate replay (the per-MAC path of
+     {!Hmac}) allocation-light.  Contexts must not be shared across
+     domains. *)
+  { h = Array.copy ctx.h; buf = Bytes.copy ctx.buf; buf_len = ctx.buf_len;
+    total_bytes = ctx.total_bytes; w = ctx.w }
 
-let big_sigma0 x = Int32.logxor (rotr x 2) (Int32.logxor (rotr x 13) (rotr x 22))
-let big_sigma1 x = Int32.logxor (rotr x 6) (Int32.logxor (rotr x 11) (rotr x 25))
-let small_sigma0 x = Int32.logxor (rotr x 7) (Int32.logxor (rotr x 18) (shr x 3))
-let small_sigma1 x = Int32.logxor (rotr x 17) (Int32.logxor (rotr x 19) (shr x 10))
+let[@inline] rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
 
-let ch e f g = Int32.logxor (Int32.logand e f) (Int32.logand (Int32.lognot e) g)
+let[@inline] big_sigma0 x = rotr x 2 lxor rotr x 13 lxor rotr x 22
+let[@inline] big_sigma1 x = rotr x 6 lxor rotr x 11 lxor rotr x 25
+let[@inline] small_sigma0 x = rotr x 7 lxor rotr x 18 lxor (x lsr 3)
+let[@inline] small_sigma1 x = rotr x 17 lxor rotr x 19 lxor (x lsr 10)
 
-let maj a b c =
-  Int32.logxor (Int32.logand a b) (Int32.logxor (Int32.logand a c) (Int32.logand b c))
+(* Equivalent minimal-operation forms of the FIPS boolean functions:
+   ch = (e & f) ^ (~e & g), maj = (a & b) ^ (a & c) ^ (b & c). *)
+let[@inline] ch e f g = g lxor (e land (f lxor g))
+let[@inline] maj a b c = a land b lor (c land (a lor b))
 
 let compress ctx block pos =
+  (* The innermost loops of every hash/MAC/PRF call: indices are bounded by
+     construction (w and k have 64 entries, h has 8), so unchecked accesses
+     are safe and measurably faster. *)
   let w = ctx.w in
   for i = 0 to 15 do
-    let base = pos + (i * 4) in
-    let byte j = Int32.of_int (Char.code (Bytes.get block (base + j))) in
-    w.(i) <-
-      Int32.(logor (shift_left (byte 0) 24)
-               (logor (shift_left (byte 1) 16) (logor (shift_left (byte 2) 8) (byte 3))))
+    Array.unsafe_set w i (Int32.to_int (Bytes.get_int32_be block (pos + (i * 4))) land mask32)
   done;
   for i = 16 to 63 do
-    w.(i) <-
-      Int32.add (small_sigma1 w.(i - 2))
-        (Int32.add w.(i - 7) (Int32.add (small_sigma0 w.(i - 15)) w.(i - 16)))
+    Array.unsafe_set w i
+      ((small_sigma1 (Array.unsafe_get w (i - 2))
+        + Array.unsafe_get w (i - 7)
+        + small_sigma0 (Array.unsafe_get w (i - 15))
+        + Array.unsafe_get w (i - 16))
+      land mask32)
   done;
   let h = ctx.h in
-  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
-  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
-  for i = 0 to 63 do
-    let t1 =
-      Int32.add !hh
-        (Int32.add (big_sigma1 !e) (Int32.add (ch !e !f !g) (Int32.add k.(i) w.(i))))
-    in
-    let t2 = Int32.add (big_sigma0 !a) (maj !a !b !c) in
-    hh := !g;
-    g := !f;
-    f := !e;
-    e := Int32.add !d t1;
-    d := !c;
-    c := !b;
-    b := !a;
-    a := Int32.add t1 t2
-  done;
-  h.(0) <- Int32.add h.(0) !a;
-  h.(1) <- Int32.add h.(1) !b;
-  h.(2) <- Int32.add h.(2) !c;
-  h.(3) <- Int32.add h.(3) !d;
-  h.(4) <- Int32.add h.(4) !e;
-  h.(5) <- Int32.add h.(5) !f;
-  h.(6) <- Int32.add h.(6) !g;
-  h.(7) <- Int32.add h.(7) !hh
+  (* Tail recursion keeps the eight state words in registers: no per-round
+     stores, where the ref-based formulation paid eight. *)
+  let rec rounds i a b c d e f g hh =
+    if i = 64 then begin
+      h.(0) <- (h.(0) + a) land mask32;
+      h.(1) <- (h.(1) + b) land mask32;
+      h.(2) <- (h.(2) + c) land mask32;
+      h.(3) <- (h.(3) + d) land mask32;
+      h.(4) <- (h.(4) + e) land mask32;
+      h.(5) <- (h.(5) + f) land mask32;
+      h.(6) <- (h.(6) + g) land mask32;
+      h.(7) <- (h.(7) + hh) land mask32
+    end
+    else begin
+      let t1 = hh + big_sigma1 e + ch e f g + Array.unsafe_get k i + Array.unsafe_get w i in
+      let t2 = big_sigma0 a + maj a b c in
+      rounds (i + 1) ((t1 + t2) land mask32) a b c ((d + t1) land mask32) e f g
+    end
+  in
+  rounds 0 h.(0) h.(1) h.(2) h.(3) h.(4) h.(5) h.(6) h.(7)
 
 let update_bytes ctx src ~pos ~len =
   assert (pos >= 0 && len >= 0 && pos + len <= Bytes.length src);
@@ -113,7 +125,10 @@ let update_bytes ctx src ~pos ~len =
     ctx.buf_len <- ctx.buf_len + !remaining
   end
 
-let update ctx s = update_bytes ctx (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+let feed_string ctx s ~off ~len =
+  update_bytes ctx (Bytes.unsafe_of_string s) ~pos:off ~len
+
+let update ctx s = feed_string ctx s ~off:0 ~len:(String.length s)
 
 let finalize ctx =
   let bit_len = Int64.mul ctx.total_bytes 8L in
@@ -124,11 +139,7 @@ let finalize ctx =
   in
   let tail = Bytes.make (pad_len + 8) '\000' in
   Bytes.set tail 0 '\x80';
-  for i = 0 to 7 do
-    let shift = 8 * (7 - i) in
-    Bytes.set tail (pad_len + i)
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bit_len shift) 0xFFL)))
-  done;
+  Bytes.set_int64_be tail pad_len bit_len;
   (* Bypass update's length accounting: the padding is not message data. *)
   let remaining = ref (Bytes.length tail) and offset = ref 0 in
   if ctx.buf_len > 0 then begin
@@ -150,12 +161,7 @@ let finalize ctx =
   assert (!remaining = 0 && ctx.buf_len = 0);
   let out = Bytes.create digest_size in
   for i = 0 to 7 do
-    let word = ctx.h.(i) in
-    for j = 0 to 3 do
-      let shift = 8 * (3 - j) in
-      Bytes.set out ((i * 4) + j)
-        (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical word shift) 0xFFl)))
-    done
+    Bytes.set_int32_be out (i * 4) (Int32.of_int ctx.h.(i))
   done;
   Bytes.unsafe_to_string out
 

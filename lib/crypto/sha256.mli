@@ -10,10 +10,20 @@ type ctx
 
 val init : unit -> ctx
 
+val copy : ctx -> ctx
+(** An independent snapshot of the streaming state.  Feeding or finalizing
+    either context leaves the other untouched — this is what lets {!Hmac}
+    precompute the ipad/opad midstates once per key and replay them for
+    every MAC. *)
+
 val update : ctx -> string -> unit
 (** Absorb bytes.  May be called any number of times. *)
 
 val update_bytes : ctx -> Bytes.t -> pos:int -> len:int -> unit
+
+val feed_string : ctx -> string -> off:int -> len:int -> unit
+(** Absorb [len] bytes of [s] starting at [off], without copying the slice
+    out first. *)
 
 val finalize : ctx -> string
 (** The 32-byte raw digest.  The context must not be reused afterwards. *)

@@ -1,8 +1,8 @@
-(** A minimal JSON value and serializer (no external dependencies).
+(** A minimal JSON value, serializer, and parser (no external dependencies).
 
-    Only what the structured-results emitter needs: construction and
-    compact, always-valid printing.  Non-finite floats serialize as
-    [null]. *)
+    What the structured-results emitter and the benchmark comparison tool
+    need: construction, compact always-valid printing, and parsing of the
+    documents this module emits.  Non-finite floats serialize as [null]. *)
 
 type t =
   | Null
@@ -14,3 +14,20 @@ type t =
   | Obj of (string * t) list
 
 val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document; [Error msg] on malformed input or trailing
+    garbage.  Integral numbers parse as [Int], anything with a fraction or
+    exponent as [Float]. *)
+
+(** {1 Accessors} — shallow, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]. *)
+
+val to_list : t -> t list option
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+
+val to_float_opt : t -> float option
+(** Accepts [Int] too (integral-valued floats round-trip as [Int]). *)

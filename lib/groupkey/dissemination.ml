@@ -32,36 +32,44 @@ let run ~cfg ~pairwise ~proposals ~complete_leaders ~excluded ~part2_reps ~part3
     (* Part 2: one epoch per (leader, receiver) pair. *)
     List.iter
       (fun (v, w) ->
-        for _ = 1 to part2_reps do
-          if id = v || id = w then begin
-            let peer = if id = v then w else v in
-            match List.assoc_opt peer my_pairs with
-            | None -> Radio.Engine.idle ()
-            | Some key ->
-              let round = Radio.Engine.current_round () in
-              let chan = Crypto.Prf.channel_hop ~key ~round ~channels in
-              if id = v then begin
-                let payload = if am_complete_leader then "K" ^ proposals id else "I" in
-                let sealed = Crypto.Cipher.seal ~key ~nonce:(Int64.of_int round) payload in
-                Radio.Engine.transmit ~chan (Radio.Frame.Sealed (Crypto.Cipher.encode sealed))
-              end
-              else begin
-                match Radio.Engine.listen ~chan with
-                | Some (Radio.Frame.Sealed blob) ->
-                  (match Crypto.Cipher.decode blob with
-                   | Some sealed ->
-                     (match Crypto.Cipher.open_ ~key sealed with
-                      | Some payload when String.length payload > 0 && payload.[0] = 'K' ->
-                        let k = String.sub payload 1 (String.length payload - 1) in
-                        if not (List.mem_assoc v !my_leader_keys) then
-                          my_leader_keys := (v, k) :: !my_leader_keys
-                      | Some _ | None -> ())
-                   | None -> ())
-                | Some _ | None -> ()
-              end
-          end
-          else Radio.Engine.idle ()
-        done)
+        let pair_key =
+          if id = v || id = w then
+            List.assoc_opt (if id = v then w else v) my_pairs
+          else None
+        in
+        match pair_key with
+        | None ->
+          for _ = 1 to part2_reps do
+            Radio.Engine.idle ()
+          done
+        | Some key ->
+          (* The pair key is fixed for the whole epoch: prepare the hop PRF
+             and cipher midstates once, not once per repetition. *)
+          let hop_prf = Crypto.Prf.Keyed.create key in
+          let ck = Crypto.Cipher.key key in
+          for _ = 1 to part2_reps do
+            let round = Radio.Engine.current_round () in
+            let chan = Crypto.Prf.Keyed.channel_hop hop_prf ~round ~channels in
+            if id = v then begin
+              let payload = if am_complete_leader then "K" ^ proposals id else "I" in
+              let sealed = Crypto.Cipher.seal_keyed ck ~nonce:(Int64.of_int round) payload in
+              Radio.Engine.transmit ~chan (Radio.Frame.Sealed (Crypto.Cipher.encode sealed))
+            end
+            else begin
+              match Radio.Engine.listen ~chan with
+              | Some (Radio.Frame.Sealed blob) ->
+                (match Crypto.Cipher.decode blob with
+                 | Some sealed ->
+                   (match Crypto.Cipher.open_keyed ck sealed with
+                    | Some payload when String.length payload > 0 && payload.[0] = 'K' ->
+                      let k = String.sub payload 1 (String.length payload - 1) in
+                      if not (List.mem_assoc v !my_leader_keys) then
+                        my_leader_keys := (v, k) :: !my_leader_keys
+                    | Some _ | None -> ())
+                 | None -> ())
+              | Some _ | None -> ()
+            end
+          done)
       part2_epochs;
     (* Leaders know their own proposal. *)
     if am_complete_leader && not (List.mem_assoc id !my_leader_keys) then
@@ -72,14 +80,21 @@ let run ~cfg ~pairwise ~proposals ~complete_leaders ~excluded ~part2_reps ~part3
         let my_smallest =
           match List.sort compare !my_leader_keys with (j, _) :: _ -> Some j | [] -> None
         in
-        for _ = 1 to part3_reps do
-          if id = i then begin
+        (* The report is identical for every repetition of the epoch: hash
+           the key once. *)
+        let my_report =
+          if id = i then
             match my_smallest with
             | Some j ->
               let key_hash = Crypto.Sha256.digest (List.assoc j !my_leader_keys) in
-              Radio.Engine.transmit
-                ~chan:(Prng.Rng.int ctx.rng channels)
-                (Radio.Frame.Report { reporter = i; leader = j; key_hash })
+              Some (Radio.Frame.Report { reporter = i; leader = j; key_hash })
+            | None -> None
+          else None
+        in
+        for _ = 1 to part3_reps do
+          if id = i then begin
+            match my_report with
+            | Some frame -> Radio.Engine.transmit ~chan:(Prng.Rng.int ctx.rng channels) frame
             | None -> Radio.Engine.idle ()
           end
           else begin

@@ -4,23 +4,37 @@ type t = {
   name : string;
   act : round:int -> strike list;
   observe : Transcript.round_record -> unit;
+  observes : bool;
 }
 
 let validate ~channels ~budget strikes =
-  if List.length strikes > budget then
-    invalid_arg (Printf.sprintf "Adversary: %d strikes exceed budget %d" (List.length strikes) budget);
-  let seen = Hashtbl.create 8 in
-  List.iter
-    (fun { chan; _ } ->
+  (* Over-budget strategies are clamped, not rejected: the model simply
+     ignores transmissions beyond the budget (dropped from the end, like
+     {!energy_bounded}).  Invalid or duplicate channels are still adversary
+     bugs and raise. *)
+  let strikes =
+    if List.compare_length_with strikes budget > 0 then
+      List.filteri (fun i _ -> i < budget) strikes
+    else strikes
+  in
+  (* At most [budget] strikes survive the clamp, so the quadratic duplicate
+     scan is tiny — and unlike a hash table it allocates nothing on the
+     per-round path. *)
+  let rec check = function
+    | [] -> ()
+    | { chan; _ } :: rest ->
       if chan < 0 || chan >= channels then invalid_arg "Adversary: strike on invalid channel";
-      if Hashtbl.mem seen chan then invalid_arg "Adversary: duplicate strike channel";
-      Hashtbl.add seen chan ())
-    strikes;
+      List.iter
+        (fun s -> if s.chan = chan then invalid_arg "Adversary: duplicate strike channel")
+        rest;
+      check rest
+  in
+  check strikes;
   strikes
 
 let no_observe (_ : Transcript.round_record) = ()
 
-let null = { name = "null"; act = (fun ~round:_ -> []); observe = no_observe }
+let null = { name = "null"; act = (fun ~round:_ -> []); observe = no_observe; observes = false }
 
 let distinct_random_channels rng ~channels ~count =
   let arr = Array.init channels Fun.id in
@@ -33,14 +47,16 @@ let random_jammer rng ~channels ~budget =
       (fun ~round:_ ->
         List.map (fun chan -> { chan; spoof = None })
           (distinct_random_channels rng ~channels ~count:budget));
-    observe = no_observe }
+    observe = no_observe;
+    observes = false }
 
 let sweep_jammer ~channels ~budget =
   { name = "sweep-jammer";
     act =
       (fun ~round ->
         List.init budget (fun i -> { chan = (round + i) mod channels; spoof = None }));
-    observe = no_observe }
+    observe = no_observe;
+    observes = false }
 
 let targeted_jammer ~channels ~channels_of_round ~budget =
   { name = "targeted-jammer";
@@ -55,7 +71,8 @@ let targeted_jammer ~channels ~channels_of_round ~budget =
           else pad ({ chan = next; spoof = None } :: acc) (next + 1)
         in
         pad (List.rev_map (fun chan -> { chan; spoof = None }) primary) 0);
-    observe = no_observe }
+    observe = no_observe;
+    observes = false }
 
 let spoofer rng ~channels ~budget ~forge =
   { name = "spoofer";
@@ -63,7 +80,8 @@ let spoofer rng ~channels ~budget ~forge =
       (fun ~round ->
         List.map (fun chan -> { chan; spoof = Some (forge ~round chan) })
           (distinct_random_channels rng ~channels ~count:budget));
-    observe = no_observe }
+    observe = no_observe;
+    observes = false }
 
 let reactive_jammer rng ~channels ~budget =
   let last_traffic = Array.make channels 0 in
@@ -83,7 +101,8 @@ let reactive_jammer rng ~channels ~budget =
         Array.fill last_traffic 0 channels 0;
         List.iter
           (fun (_, chan, _) -> last_traffic.(chan) <- last_traffic.(chan) + 1)
-          record.Transcript.honest_tx) }
+          record.Transcript.honest_tx);
+    observes = true }
 
 let energy_bounded ~total inner =
   let remaining = ref total in
@@ -96,7 +115,8 @@ let energy_bounded ~total inner =
           remaining := !remaining - List.length strikes;
           strikes
         end);
-    observe = inner.observe }
+    observe = inner.observe;
+    observes = inner.observes }
 
 let combine ~name subs ~budget ~channels =
   ignore budget;
@@ -106,4 +126,5 @@ let combine ~name subs ~budget ~channels =
   let arr = Array.of_list subs in
   { name;
     act = (fun ~round -> arr.(round mod count).act ~round);
-    observe = (fun record -> Array.iter (fun sub -> sub.observe record) arr) }
+    observe = (fun record -> Array.iter (fun sub -> sub.observe record) arr);
+    observes = Array.exists (fun sub -> sub.observes) arr }

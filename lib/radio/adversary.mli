@@ -20,11 +20,19 @@ type t = {
   name : string;
   act : round:int -> strike list;
   observe : Transcript.round_record -> unit;
+  observes : bool;
+      (** Declares whether [observe] actually consumes round records.  When
+          false (and transcript recording is off) the engine takes a cheap
+          path that skips materializing per-round records entirely, and
+          [observe] is never called — so a strategy whose [observe] has side
+          effects MUST set [observes = true]. *)
 }
 
 val validate : channels:int -> budget:int -> strike list -> strike list
-(** Enforce the model: at most [budget] strikes, each on a distinct valid
-    channel.  Raises [Invalid_argument] on violation (an adversary bug). *)
+(** Enforce the model: strikes beyond [budget] are clamped (dropped from
+    the end of the list — transmissions the model simply ignores); each
+    kept strike must name a distinct valid channel, anything else raises
+    [Invalid_argument] (an adversary bug). *)
 
 (** {1 Generic strategies} *)
 

@@ -1,23 +1,26 @@
 type ctx = { id : int; rng : Prng.Rng.t; cfg : Config.t }
 
-type action = Transmit of int * Frame.t | Listen of int | Idle
-
 type obs = Received of Frame.t | Nothing
 
-type _ Effect.t += Act : action -> obs Effect.t
+(* One effect constructor per action keeps the perform path lean: [EIdle] is
+   a constant (no allocation at all), [EListen]/[ETransmit] are a single
+   block each — there is no wrapper [action] box on the hot path. *)
+type _ Effect.t += ETransmit : int * Frame.t -> obs Effect.t
+type _ Effect.t += EListen : int -> obs Effect.t
+type _ Effect.t += EIdle : obs Effect.t
 type _ Effect.t += Round : int Effect.t
 
 let transmit ~chan frame =
-  match Effect.perform (Act (Transmit (chan, frame))) with
+  match Effect.perform (ETransmit (chan, frame)) with
   | Received _ | Nothing -> ()
 
 let listen ~chan =
-  match Effect.perform (Act (Listen chan)) with
+  match Effect.perform (EListen chan) with
   | Received frame -> Some frame
   | Nothing -> None
 
 let idle () =
-  match Effect.perform (Act Idle) with
+  match Effect.perform EIdle with
   | Received _ | Nothing -> ()
 
 let idle_for k =
@@ -30,7 +33,9 @@ let current_round () = Effect.perform Round
 exception Aborted
 
 type fiber =
-  | Waiting of action * (obs, unit) Effect.Deep.continuation
+  | WaitT of int * Frame.t * (obs, unit) Effect.Deep.continuation
+  | WaitL of int * (obs, unit) Effect.Deep.continuation
+  | WaitI of (obs, unit) Effect.Deep.continuation
   | Finished
 
 type result = {
@@ -40,23 +45,77 @@ type result = {
   rounds_used : int;
 }
 
+(* Placeholder occupying [first_frame] slots whose [first_sender] is -1; the
+   sentinel is the sender index, so the dummy is never read. *)
+let dummy_frame = Frame.Plain { src = -1; dst = -1; body = "" }
+
+(* The round loop is the simulator's hottest path: Figure 3's large-channel
+   regimes run it with C = 2t^2 channels for hundreds of thousands of
+   rounds.  Channel resolution is a single O(T) harvest pass into reusable
+   per-channel accumulators followed by one pass over the channels actually
+   touched this round — the per-channel [List.filter]/[List.find_opt]
+   formulation was O(C*T) per round.  When neither the transcript nor the
+   adversary consumes round records ([record_transcript] off and
+   [Adversary.observes] false), the cons-heavy record lists are never
+   materialized and the outcome array is reused across rounds.
+
+   Allocation discipline: every suspension handler closure is hoisted and
+   shared across fibers (the pending-action scratch cells below are filled
+   by [effc] immediately before the matching closure runs — fibers are
+   strictly sequential within the domain, so one set of cells suffices). *)
 let run cfg ~adversary nodes =
-  if Array.length nodes <> cfg.Config.n then
+  let n = cfg.Config.n in
+  if Array.length nodes <> n then
     invalid_arg "Engine.run: node array length must equal cfg.n";
+  let channels = cfg.Config.channels in
   let round_counter = ref 0 in
-  let fibers = Array.make cfg.Config.n Finished in
+  let fibers = Array.make n Finished in
+  (* Scratch cells carrying the perform's payload from [effc] to the shared
+     suspension closures. *)
+  let pending_i = ref 0 in
+  let pending_chan = ref 0 in
+  let pending_frame = ref dummy_frame in
+  let some_transmit =
+    Some
+      (fun (k : (obs, unit) Effect.Deep.continuation) ->
+        Array.set fibers !pending_i (WaitT (!pending_chan, !pending_frame, k)))
+  in
+  let some_listen =
+    Some
+      (fun (k : (obs, unit) Effect.Deep.continuation) ->
+        Array.set fibers !pending_i (WaitL (!pending_chan, k)))
+  in
+  let some_idle =
+    Some
+      (fun (k : (obs, unit) Effect.Deep.continuation) ->
+        Array.set fibers !pending_i (WaitI k))
+  in
+  let some_round =
+    Some
+      (fun (k : (int, unit) Effect.Deep.continuation) ->
+        Effect.Deep.continue k !round_counter)
+  in
   let start i body ctx =
     let handler =
       { Effect.Deep.retc = (fun () -> fibers.(i) <- Finished);
         exnc = (fun e -> fibers.(i) <- Finished; if e <> Aborted then raise e);
         effc =
-          (fun (type a) (eff : a Effect.t) ->
+          (fun (type a) (eff : a Effect.t) :
+               ((a, unit) Effect.Deep.continuation -> unit) option ->
             match eff with
-            | Act action ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  fibers.(i) <- Waiting (action, k))
-            | Round -> Some (fun k -> Effect.Deep.continue k !round_counter)
+            | ETransmit (chan, frame) ->
+              pending_i := i;
+              pending_chan := chan;
+              pending_frame := frame;
+              some_transmit
+            | EListen chan ->
+              pending_i := i;
+              pending_chan := chan;
+              some_listen
+            | EIdle ->
+              pending_i := i;
+              some_idle
+            | Round -> some_round
             | _ -> None) }
     in
     Effect.Deep.match_with body ctx handler
@@ -68,89 +127,185 @@ let run cfg ~adversary nodes =
     nodes;
   let stats = Transcript.Stats.create () in
   let transcript = ref [] in
-  let all_finished () =
-    Array.for_all (function Finished -> true | Waiting _ -> false) fibers
-  in
   let validate_chan chan =
-    if chan < 0 || chan >= cfg.Config.channels then
+    if chan < 0 || chan >= channels then
       invalid_arg (Printf.sprintf "Engine: action on invalid channel %d" chan)
   in
-  while (not (all_finished ())) && !round_counter < cfg.Config.max_rounds do
+  (* Per-channel accumulators; only the channels touched in a round (tracked
+     in [touched]) are visited and reset, so quiet channels cost nothing. *)
+  let tx_count = Array.make channels 0 in
+  let first_sender = Array.make channels (-1) in
+  let first_frame = Array.make channels dummy_frame in
+  let listeners_on = Array.make channels 0 in
+  let struck = Array.make channels false in
+  let spoof_on : Frame.t option array = Array.make channels None in
+  let touched = Array.make channels 0 in
+  let n_touched = ref 0 in
+  let[@inline] touch chan =
+    if
+      Array.get tx_count chan = 0
+      && Array.get listeners_on chan = 0
+      && not (Array.get struck chan)
+    then begin
+      Array.set touched !n_touched chan;
+      incr n_touched
+    end
+  in
+  let shared_outcomes = Array.make channels Transcript.Empty in
+  let record_wanted = cfg.Config.record_transcript || adversary.Adversary.observes in
+  let running = ref true in
+  (* Round-loop state hoisted so the per-round closures below capture only
+     loop-invariant cells and are allocated once per run. *)
+  let honest_tx = ref [] and listeners = ref [] in
+  let tx_total = ref 0 in
+  let waiting = ref 0 in
+  let strike_count = ref 0 in
+  let apply_strike s =
+    incr strike_count;
+    touch s.Adversary.chan;
+    struck.(s.Adversary.chan) <- true;
+    spoof_on.(s.Adversary.chan) <- s.Adversary.spoof
+  in
+  while !running && !round_counter < cfg.Config.max_rounds do
     let round = !round_counter in
-    (* 1. Harvest declared actions. *)
-    let honest_tx = ref [] and listeners = ref [] in
-    Array.iteri
-      (fun i fiber ->
-        match fiber with
+    (* 1. Harvest declared actions: one pass over the fibers. *)
+    honest_tx := [];
+    listeners := [];
+    tx_total := 0;
+    waiting := 0;
+    for i = 0 to n - 1 do
+      match Array.get fibers i with
+      | Finished -> ()
+      | WaitT (chan, frame, _) ->
+        incr waiting;
+        validate_chan chan;
+        incr tx_total;
+        touch chan;
+        let count = Array.get tx_count chan in
+        Array.set tx_count chan (count + 1);
+        if count = 0 then begin
+          Array.set first_sender chan i;
+          Array.set first_frame chan frame
+        end;
+        let payload = Frame.payload_size frame in
+        if payload > stats.Transcript.Stats.max_payload then
+          stats.Transcript.Stats.max_payload <- payload;
+        if record_wanted then honest_tx := (i, chan, frame) :: !honest_tx
+      | WaitL (chan, _) ->
+        incr waiting;
+        validate_chan chan;
+        touch chan;
+        Array.set listeners_on chan (Array.get listeners_on chan + 1);
+        if record_wanted then listeners := (i, chan) :: !listeners
+      | WaitI _ -> incr waiting
+    done;
+    if !waiting = 0 then running := false
+    else begin
+      (* 2. Adversary commits its strikes without seeing this round's
+         choices. *)
+      let strikes =
+        Adversary.validate ~channels ~budget:cfg.Config.t
+          (adversary.Adversary.act ~round)
+      in
+      strike_count := 0;
+      List.iter apply_strike strikes;
+      (* 3. Resolve the touched channels, fold the round into the stats, and
+         reset the accumulators — untouched channels stay Empty. *)
+      let outcomes =
+        if record_wanted then Array.make channels Transcript.Empty else shared_outcomes
+      in
+      let jammed_this_round = ref false in
+      for j = 0 to !n_touched - 1 do
+        let chan = Array.get touched j in
+        let honest = Array.get tx_count chan in
+        let outcome =
+          if Array.get struck chan then
+            if honest = 0 then
+              match Array.get spoof_on chan with
+              | Some frame -> Transcript.Delivered { origin = Transcript.Adversarial; frame }
+              | None ->
+                (* A lone jam: energy but no decodable frame. *)
+                Transcript.Collision { transmitters = 1; jammed = true }
+            else Transcript.Collision { transmitters = honest + 1; jammed = true }
+          else if honest = 0 then Transcript.Empty
+          else if honest = 1 then
+            Transcript.Delivered
+              { origin = Transcript.Honest (Array.get first_sender chan);
+                frame = Array.get first_frame chan }
+          else Transcript.Collision { transmitters = honest; jammed = false }
+        in
+        Array.set outcomes chan outcome;
+        (match outcome with
+         | Transcript.Empty -> ()
+         | Transcript.Delivered { origin; _ } ->
+           let hearers = Array.get listeners_on chan in
+           stats.Transcript.Stats.deliveries <- stats.Transcript.Stats.deliveries + hearers;
+           (match origin with
+            | Transcript.Adversarial ->
+              stats.Transcript.Stats.spoofed_deliveries <-
+                stats.Transcript.Stats.spoofed_deliveries + hearers
+            | Transcript.Honest _ -> ())
+         | Transcript.Collision { jammed; _ } ->
+           stats.Transcript.Stats.collisions <- stats.Transcript.Stats.collisions + 1;
+           if jammed then jammed_this_round := true);
+        Array.set tx_count chan 0;
+        Array.set first_sender chan (-1);
+        Array.set first_frame chan dummy_frame;
+        Array.set listeners_on chan 0;
+        Array.set struck chan false;
+        Array.set spoof_on chan None
+      done;
+      n_touched := 0;
+      stats.Transcript.Stats.rounds <- stats.Transcript.Stats.rounds + 1;
+      stats.Transcript.Stats.honest_transmissions <-
+        stats.Transcript.Stats.honest_transmissions + !tx_total;
+      stats.Transcript.Stats.strikes <- stats.Transcript.Stats.strikes + !strike_count;
+      if !jammed_this_round then
+        stats.Transcript.Stats.jammed_rounds <- stats.Transcript.Stats.jammed_rounds + 1;
+      if record_wanted then begin
+        let record =
+          { Transcript.round;
+            honest_tx = List.rev !honest_tx;
+            listeners = List.rev !listeners;
+            strikes = List.map (fun s -> (s.Adversary.chan, s.Adversary.spoof)) strikes;
+            outcomes }
+        in
+        if cfg.Config.record_transcript then transcript := record :: !transcript;
+        if adversary.Adversary.observes then adversary.Adversary.observe record
+      end;
+      incr round_counter;
+      (* 4. Resume fibers with their observations, in node-id order.  A
+         resumed fiber re-populates fibers.(i) if it suspends again. *)
+      for i = 0 to n - 1 do
+        match Array.get fibers i with
         | Finished -> ()
-        | Waiting (Transmit (chan, frame), _) ->
-          validate_chan chan;
-          honest_tx := (i, chan, frame) :: !honest_tx
-        | Waiting (Listen chan, _) ->
-          validate_chan chan;
-          listeners := (i, chan) :: !listeners
-        | Waiting (Idle, _) -> ())
-      fibers;
-    let honest_tx = List.rev !honest_tx and listeners = List.rev !listeners in
-    (* 2. Adversary commits its strikes without seeing this round's choices. *)
-    let strikes =
-      Adversary.validate ~channels:cfg.Config.channels ~budget:cfg.Config.t
-        (adversary.Adversary.act ~round)
-    in
-    (* 3. Resolve each channel. *)
-    let outcomes =
-      Array.init cfg.Config.channels (fun chan ->
-          let honest_here = List.filter (fun (_, c, _) -> c = chan) honest_tx in
-          let strike_here =
-            List.find_opt (fun s -> s.Adversary.chan = chan) strikes
-          in
-          let honest_count = List.length honest_here in
-          let adv_count = match strike_here with Some _ -> 1 | None -> 0 in
-          match (honest_here, strike_here, honest_count + adv_count) with
-          | [], None, _ -> Transcript.Empty
-          | [ (sender, _, frame) ], None, 1 ->
-            Transcript.Delivered { origin = Transcript.Honest sender; frame }
-          | [], Some { Adversary.spoof = Some frame; _ }, 1 ->
-            Transcript.Delivered { origin = Transcript.Adversarial; frame }
-          | [], Some { Adversary.spoof = None; _ }, 1 ->
-            (* A lone jam: energy but no decodable frame. *)
-            Transcript.Collision { transmitters = 1; jammed = true }
-          | _, _, total ->
-            Transcript.Collision { transmitters = total; jammed = adv_count > 0 })
-    in
-    let record =
-      { Transcript.round; honest_tx; listeners; strikes = List.map (fun s -> (s.Adversary.chan, s.Adversary.spoof)) strikes; outcomes }
-    in
-    Transcript.Stats.absorb stats record;
-    if cfg.Config.record_transcript then transcript := record :: !transcript;
-    adversary.Adversary.observe record;
-    incr round_counter;
-    (* 4. Resume fibers with their observations, in node-id order. *)
-    Array.iteri
-      (fun i fiber ->
-        match fiber with
-        | Finished -> ()
-        | Waiting (action, k) ->
+        | WaitL (chan, k) ->
           let obs =
-            match action with
-            | Transmit _ | Idle -> Nothing
-            | Listen chan ->
-              (match outcomes.(chan) with
-               | Transcript.Delivered { frame; _ } -> Received frame
-               | Transcript.Empty | Transcript.Collision _ -> Nothing)
+            match Array.get outcomes chan with
+            | Transcript.Delivered { frame; _ } -> Received frame
+            | Transcript.Empty | Transcript.Collision _ -> Nothing
           in
           fibers.(i) <- Finished;
-          (* The continuation re-populates fibers.(i) if the node suspends
-             again; otherwise it stays Finished. *)
-          Effect.Deep.continue k obs)
-      fibers
+          Effect.Deep.continue k obs
+        | WaitT (_, _, k) ->
+          fibers.(i) <- Finished;
+          Effect.Deep.continue k Nothing
+        | WaitI k ->
+          fibers.(i) <- Finished;
+          Effect.Deep.continue k Nothing
+      done
+    end
   done;
-  let completed = all_finished () in
+  let completed =
+    Array.for_all (function Finished -> true | WaitT _ | WaitL _ | WaitI _ -> false) fibers
+  in
   if not completed then
     Array.iter
-      (function
+      (fun fiber ->
+        match fiber with
         | Finished -> ()
-        | Waiting (_, k) -> ( try Effect.Deep.discontinue k Aborted with Aborted -> ()))
+        | WaitT (_, _, k) | WaitL (_, k) | WaitI k -> (
+          try Effect.Deep.discontinue k Aborted with Aborted -> ()))
       fibers;
   { stats; transcript = List.rev !transcript; completed; rounds_used = !round_counter }
 

@@ -3,6 +3,8 @@ type spec = {
   channels : int;
   budget : int;
   reps : int;
+  hop_prf : Crypto.Prf.Keyed.t;
+  cipher : Crypto.Cipher.key;
 }
 
 let log2 x = log x /. log 2.0
@@ -13,10 +15,11 @@ let make_spec ?(beta = 4.0) ~key ~cfg () =
   let reps =
     max 1 (int_of_float (ceil (beta *. float_of_int (t + 1) *. log2 (float_of_int (max n 4)))))
   in
-  { key; channels = cfg.Radio.Config.channels; budget = t; reps }
+  { key; channels = cfg.Radio.Config.channels; budget = t; reps;
+    hop_prf = Crypto.Prf.Keyed.create key; cipher = Crypto.Cipher.key key }
 
 let hop spec ~round =
-  Crypto.Prf.below ~key:spec.key ~label:"unicast-hop" ~counter:round spec.channels
+  Crypto.Prf.Keyed.below spec.hop_prf ~label:"unicast-hop" ~counter:round spec.channels
 
 type stream = {
   sender : int;
@@ -78,7 +81,7 @@ let run_streams ~cfg ~keys ~streams ~adversary () =
           for _ = 1 to spec.reps do
             let round = Radio.Engine.current_round () in
             let sealed =
-              Crypto.Cipher.seal ~key:spec.key ~nonce:(Int64.of_int round)
+              Crypto.Cipher.seal_keyed spec.cipher ~nonce:(Int64.of_int round)
                 (encode_payload ~seq payload)
             in
             Radio.Engine.transmit ~chan:(hop spec ~round)

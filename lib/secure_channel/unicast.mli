@@ -15,6 +15,10 @@ type spec = {
   channels : int;
   budget : int;
   reps : int;
+  hop_prf : Crypto.Prf.Keyed.t;
+      (** prepared hop PRF for [key] — built once in {!make_spec}, queried
+          every round *)
+  cipher : Crypto.Cipher.key;  (** prepared seal/open key for [key] *)
 }
 
 val make_spec : ?beta:float -> key:string -> cfg:Radio.Config.t -> unit -> spec

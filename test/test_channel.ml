@@ -109,7 +109,8 @@ let replayed_ciphertext_rejected () =
           List.iter
             (fun (_, _, frame) ->
               match frame with Radio.Frame.Sealed _ -> captured := Some frame | _ -> ())
-            record.Radio.Transcript.honest_tx) }
+            record.Radio.Transcript.honest_tx);
+      observes = true }
   in
   let o = Service.run_workload ~cfg ~key_holders:holders ~spec ~sends ~adversary () in
   (* A replayed authentic frame is not a forgery: it decodes to the original

@@ -198,6 +198,78 @@ let prf_keystream_length =
   QCheck.Test.make ~name:"keystream length exact" ~count:100 (QCheck.int_range 0 500)
     (fun len -> String.length (Prf.keystream ~key:"k" ~nonce:"n" len) = len)
 
+(* -- keyed fast paths: byte-identical to the one-shot forms.
+
+   The simulator's determinism contract rests on these equalities: the
+   prepared-handle paths (HMAC midstate caching, incremental SHA-256
+   feeding, exact-length keystream) must agree with the naive forms on
+   every byte, for every input. *)
+
+let sha_feed_string_equals_update =
+  QCheck.Test.make ~name:"feed_string windows = one-shot" ~count:300
+    QCheck.(triple (string_of_size (Gen.int_range 0 300)) (int_range 0 300) (int_range 0 300))
+    (fun (s, a, b) ->
+      (* Split s into [0,cut1), [cut1,cut2), [cut2,len) and feed the three
+         windows through feed_string ~off ~len. *)
+      let len = String.length s in
+      let cut1 = min a len in
+      let cut2 = cut1 + min b (len - cut1) in
+      let ctx = Sha256.init () in
+      Sha256.feed_string ctx s ~off:0 ~len:cut1;
+      Sha256.feed_string ctx s ~off:cut1 ~len:(cut2 - cut1);
+      Sha256.feed_string ctx s ~off:cut2 ~len:(len - cut2);
+      Sha256.finalize ctx = Sha256.digest s)
+
+let hmac_keyed_equals_oneshot =
+  QCheck.Test.make ~name:"mac_keyed = mac" ~count:300
+    QCheck.(pair (string_of_size (Gen.int_range 0 100)) (string_of_size (Gen.int_range 0 300)))
+    (fun (key, msg) -> Hmac.mac_keyed (Hmac.key key) msg = Hmac.mac ~key msg)
+
+let hmac_keyed_reusable () =
+  let handle = Hmac.key "reused-key" in
+  check Alcotest.string "handle is reusable across messages"
+    (Sha256.hex_of (Hmac.mac ~key:"reused-key" "second"))
+    (Sha256.hex_of
+       (let _ = Hmac.mac_keyed handle "first" in
+        Hmac.mac_keyed handle "second"))
+
+let hmac_verify_wrong_length =
+  QCheck.Test.make ~name:"verify rejects truncated/extended tags" ~count:200
+    QCheck.(pair string (int_range 0 40))
+    (fun (msg, cut) ->
+      let tag = Hmac.mac ~key:"k" msg in
+      let truncated = String.sub tag 0 (min cut (String.length tag)) in
+      let extended = tag ^ "\000" in
+      (not (Hmac.verify ~key:"k" ~tag:extended msg))
+      && (String.length truncated = String.length tag
+          || not (Hmac.verify ~key:"k" ~tag:truncated msg)))
+
+let prf_keyed_equals_oneshot =
+  QCheck.Test.make ~name:"Keyed.bytes = bytes" ~count:300
+    QCheck.(
+      quad
+        (string_of_size (Gen.int_range 0 100))
+        (string_of_size (Gen.int_range 0 50))
+        (int_range 0 1_000_000) (int_range 1 1024))
+    (fun (key, label, counter, channels) ->
+      let keyed = Prf.Keyed.create key in
+      Prf.Keyed.bytes keyed ~label ~counter = Prf.bytes ~key ~label ~counter
+      && Prf.Keyed.int64 keyed ~label ~counter = Prf.int64 ~key ~label ~counter
+      && Prf.Keyed.below keyed ~label ~counter channels
+         = Prf.below ~key ~label ~counter channels
+      && Prf.Keyed.channel_hop keyed ~round:counter ~channels
+         = Prf.channel_hop ~key ~round:counter ~channels)
+
+let prf_keyed_keystream_equals_oneshot =
+  QCheck.Test.make ~name:"Keyed.keystream = keystream" ~count:200
+    QCheck.(
+      triple
+        (string_of_size (Gen.int_range 0 100))
+        (string_of_size (Gen.int_range 0 20))
+        (int_range 0 500))
+    (fun (key, nonce, len) ->
+      Prf.Keyed.keystream (Prf.Keyed.create key) ~nonce len = Prf.keystream ~key ~nonce len)
+
 (* -- authenticated cipher -- *)
 
 let cipher_roundtrip =
@@ -252,6 +324,17 @@ let cipher_decode_garbage =
       | None -> true
       | Some sealed -> Cipher.encode sealed = junk)
 
+let cipher_keyed_equals_oneshot =
+  QCheck.Test.make ~name:"seal_keyed/open_keyed = seal/open_" ~count:300
+    QCheck.(triple (string_of_size (Gen.int_range 0 60)) int (string_of_size (Gen.int_range 0 200)))
+    (fun (key, nonce_bits, plaintext) ->
+      let nonce = Int64.of_int nonce_bits in
+      let ck = Cipher.key key in
+      let keyed = Cipher.seal_keyed ck ~nonce plaintext in
+      Cipher.encode keyed = Cipher.encode (Cipher.seal ~key ~nonce plaintext)
+      && Cipher.open_keyed ck keyed = Some plaintext
+      && Cipher.open_keyed ck keyed = Cipher.open_ ~key keyed)
+
 let () =
   Alcotest.run "crypto"
     [ ( "sha256",
@@ -261,13 +344,17 @@ let () =
           Alcotest.test_case "million-a vector" `Slow sha_million_a;
           Alcotest.test_case "digest length" `Quick sha_length;
           qcheck sha_streaming_equals_oneshot;
+          qcheck sha_feed_string_equals_update;
           qcheck sha_distinct_inputs ] );
       ( "hmac",
         [ Alcotest.test_case "rfc4231 case 1" `Quick hmac_case1;
           Alcotest.test_case "rfc4231 case 2" `Quick hmac_case2;
           Alcotest.test_case "long key" `Quick hmac_long_key;
           qcheck hmac_verify_roundtrip;
-          qcheck hmac_verify_rejects_tamper ] );
+          qcheck hmac_verify_rejects_tamper;
+          qcheck hmac_keyed_equals_oneshot;
+          Alcotest.test_case "keyed handle reusable" `Quick hmac_keyed_reusable;
+          qcheck hmac_verify_wrong_length ] );
       ( "modarith",
         [ Alcotest.test_case "mulmod small reference" `Quick mulmod_matches_small;
           Alcotest.test_case "mulmod large" `Quick mulmod_large_no_overflow;
@@ -286,11 +373,14 @@ let () =
         [ Alcotest.test_case "deterministic" `Quick prf_deterministic;
           Alcotest.test_case "label separation" `Quick prf_label_separation;
           qcheck prf_channel_hop_range;
-          qcheck prf_keystream_length ] );
+          qcheck prf_keystream_length;
+          qcheck prf_keyed_equals_oneshot;
+          qcheck prf_keyed_keystream_equals_oneshot ] );
       ( "cipher",
         [ Alcotest.test_case "rejects tamper" `Quick cipher_rejects_tamper;
           Alcotest.test_case "hides plaintext" `Quick cipher_hides_plaintext;
           qcheck cipher_roundtrip;
           qcheck cipher_rejects_wrong_key;
           qcheck cipher_wire_roundtrip;
-          qcheck cipher_decode_garbage ] ) ]
+          qcheck cipher_decode_garbage;
+          qcheck cipher_keyed_equals_oneshot ] ) ]

@@ -133,7 +133,8 @@ let report_replay_attack_is_harmless () =
               | Radio.Transcript.Delivered { frame = Radio.Frame.Report _ as f; _ } ->
                 heard := f :: !heard
               | _ -> ())
-            record.Radio.Transcript.outcomes) }
+            record.Radio.Transcript.outcomes);
+      observes = true }
   in
   let o = run_once ~seed:99L ~t ~n ~fame_attack:null_fame ~hop_attack:replayer () in
   check Alcotest.bool "agreement survives replay" true

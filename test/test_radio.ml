@@ -77,7 +77,7 @@ let jam_blocks_delivery () =
   let cfg = base_cfg () in
   let jam_chan0 =
     { Adversary.name = "jam0"; act = (fun ~round:_ -> [ { Adversary.chan = 0; spoof = None } ]);
-      observe = (fun _ -> ()) }
+      observe = (fun _ -> ()); observes = false }
   in
   let received = ref (Some (plain 9 9 "sentinel")) in
   ignore
@@ -93,7 +93,7 @@ let spoof_lands_on_empty_channel () =
   let spoof =
     { Adversary.name = "spoof";
       act = (fun ~round:_ -> [ { Adversary.chan = 1; spoof = Some (plain 7 1 "fake") } ]);
-      observe = (fun _ -> ()) }
+      observe = (fun _ -> ()); observes = false }
   in
   let received = ref None in
   ignore
@@ -111,7 +111,7 @@ let spoof_collides_with_honest () =
   let spoof =
     { Adversary.name = "spoof";
       act = (fun ~round:_ -> [ { Adversary.chan = 0; spoof = Some (plain 7 1 "fake") } ]);
-      observe = (fun _ -> ()) }
+      observe = (fun _ -> ()); observes = false }
   in
   let received = ref (Some (plain 9 9 "sentinel")) in
   ignore
@@ -126,7 +126,7 @@ let lone_jam_is_silence () =
   let cfg = base_cfg ~record:true () in
   let jam =
     { Adversary.name = "jam"; act = (fun ~round:_ -> [ { Adversary.chan = 0; spoof = None } ]);
-      observe = (fun _ -> ()) }
+      observe = (fun _ -> ()); observes = false }
   in
   let received = ref (Some (plain 9 9 "sentinel")) in
   let result =
@@ -147,7 +147,7 @@ let transmitter_learns_nothing () =
      the sender's perspective via stats only. *)
   let jam =
     { Adversary.name = "jam"; act = (fun ~round:_ -> [ { Adversary.chan = 0; spoof = None } ]);
-      observe = (fun _ -> ()) }
+      observe = (fun _ -> ()); observes = false }
   in
   let run adversary =
     let cfg = base_cfg () in
@@ -206,6 +206,44 @@ let determinism () =
   in
   check Alcotest.int "identical reruns" (go ()) (go ())
 
+(* The engine skips round_record construction entirely when recording is
+   off and the adversary does not observe; the aggregated stats must be
+   identical on both paths, and the cheap path must keep the transcript
+   empty. *)
+let cheap_path_matches_record_path () =
+  let run record =
+    let cfg = base_cfg ~n:6 ~channels:3 ~t:1 ~seed:77L ~record () in
+    let adversary = Adversary.sweep_jammer ~channels:3 ~budget:1 in
+    Engine.run cfg ~adversary
+      (Array.init 6 (fun id (ctx : Engine.ctx) ->
+           for round = 1 to 25 do
+             let chan = (round + id) mod 3 in
+             if id mod 2 = 0 then Engine.transmit ~chan (plain id (id + 1) "m")
+             else ignore (Engine.listen ~chan);
+             ignore ctx
+           done))
+  in
+  let off = run false and on = run true in
+  let s (r : Engine.result) = r.Engine.stats in
+  check Alcotest.int "rounds" (s on).Transcript.Stats.rounds (s off).Transcript.Stats.rounds;
+  check Alcotest.int "honest tx" (s on).Transcript.Stats.honest_transmissions
+    (s off).Transcript.Stats.honest_transmissions;
+  check Alcotest.int "deliveries" (s on).Transcript.Stats.deliveries
+    (s off).Transcript.Stats.deliveries;
+  check Alcotest.int "spoofed" (s on).Transcript.Stats.spoofed_deliveries
+    (s off).Transcript.Stats.spoofed_deliveries;
+  check Alcotest.int "collisions" (s on).Transcript.Stats.collisions
+    (s off).Transcript.Stats.collisions;
+  check Alcotest.int "jammed" (s on).Transcript.Stats.jammed_rounds
+    (s off).Transcript.Stats.jammed_rounds;
+  check Alcotest.int "strikes" (s on).Transcript.Stats.strikes (s off).Transcript.Stats.strikes;
+  check Alcotest.int "max payload" (s on).Transcript.Stats.max_payload
+    (s off).Transcript.Stats.max_payload;
+  check Alcotest.int "rounds_used" on.Engine.rounds_used off.Engine.rounds_used;
+  check Alcotest.bool "cheap path records nothing" true (off.Engine.transcript = []);
+  check Alcotest.int "record path keeps every round" on.Engine.rounds_used
+    (List.length on.Engine.transcript)
+
 let bad_channel_rejected () =
   let cfg = base_cfg () in
   (try
@@ -229,12 +267,20 @@ let wrong_node_count_rejected () =
 
 let validate_budget () =
   let strikes = [ { Adversary.chan = 0; spoof = None }; { Adversary.chan = 1; spoof = None } ] in
-  (try
-     ignore (Adversary.validate ~channels:3 ~budget:1 strikes);
-     Alcotest.fail "expected budget violation"
-   with Invalid_argument _ -> ());
+  (* Over-budget strike lists are clamped from the end, not rejected: the
+     model simply ignores transmissions beyond [t]. *)
+  (match Adversary.validate ~channels:3 ~budget:1 strikes with
+   | [ { Adversary.chan = 0; spoof = None } ] -> ()
+   | _ -> Alcotest.fail "expected clamp to the first strike");
   check Alcotest.int "within budget ok" 2
-    (List.length (Adversary.validate ~channels:3 ~budget:2 strikes))
+    (List.length (Adversary.validate ~channels:3 ~budget:2 strikes));
+  check Alcotest.int "zero budget silences" 0
+    (List.length (Adversary.validate ~channels:3 ~budget:0 strikes));
+  (* Clamping happens before per-strike checks: an invalid channel beyond
+     the budget is dropped, not a model violation. *)
+  let tail_invalid = strikes @ [ { Adversary.chan = 99; spoof = None } ] in
+  check Alcotest.int "invalid channel beyond budget is clamped away" 2
+    (List.length (Adversary.validate ~channels:3 ~budget:2 tail_invalid))
 
 let validate_duplicate_channel () =
   let strikes = [ { Adversary.chan = 0; spoof = None }; { Adversary.chan = 0; spoof = None } ] in
@@ -303,7 +349,7 @@ let spoof_detection_in_transcript () =
   let spoof =
     { Adversary.name = "spoof";
       act = (fun ~round:_ -> [ { Adversary.chan = 1; spoof = Some (plain 9 1 "fake") } ]);
-      observe = (fun _ -> ()) }
+      observe = (fun _ -> ()); observes = false }
   in
   let result =
     Engine.run cfg ~adversary:spoof
@@ -368,7 +414,7 @@ let auditor_flags_spoofed_deliveries () =
   let spoof =
     { Adversary.name = "spoof";
       act = (fun ~round:_ -> [ { Adversary.chan = 1; spoof = Some (plain 9 1 "fake") } ]);
-      observe = (fun _ -> ()) }
+      observe = (fun _ -> ()); observes = false }
   in
   let result =
     Engine.run cfg ~adversary:spoof
@@ -401,6 +447,7 @@ let () =
         [ Alcotest.test_case "current_round" `Quick current_round_advances;
           Alcotest.test_case "max_rounds abort" `Quick max_rounds_aborts;
           Alcotest.test_case "determinism" `Quick determinism;
+          Alcotest.test_case "cheap path = record path" `Quick cheap_path_matches_record_path;
           Alcotest.test_case "bad channel rejected" `Quick bad_channel_rejected;
           Alcotest.test_case "node count checked" `Quick wrong_node_count_rejected ] );
       ( "adversary",

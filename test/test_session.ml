@@ -99,7 +99,7 @@ let recorded_run () =
   let jam =
     { Radio.Adversary.name = "jam0";
       act = (fun ~round -> if round = 0 then [ { Radio.Adversary.chan = 1; spoof = None } ] else []);
-      observe = (fun _ -> ()) }
+      observe = (fun _ -> ()); observes = false }
   in
   Radio.Engine.run cfg ~adversary:jam
     [| (fun _ ->
