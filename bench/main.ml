@@ -7,8 +7,11 @@
      dune exec bench/main.exe -- micro        -- Bechamel micro-benchmarks only
      dune exec bench/main.exe -- quick --jobs 4 --json BENCH.json
 
-   --jobs N   worker domains for the parallel experiment runner
-   --json P   write structured results + per-experiment wall-clock to P
+   --jobs N          worker domains for the parallel experiment runner
+   --jobs-sweep L    re-run the experiments at each worker count in the
+                     comma-separated list L, reporting wall clock per count
+                     (output must stay byte-identical; see bench_compare)
+   --json P          write structured results + per-experiment wall-clock to P
 
    Each experiment table regenerates one exhibit of the paper (Figure 3's
    three rows, plus the theorem-level claims); see EXPERIMENTS.md for the
@@ -51,7 +54,32 @@ let engine_bench ~name ~n ~channels ~t =
                     ignore (Radio.Engine.listen ~chan:(hop ~round ~slot))
                   done))))
 
-let micro_tests () =
+(* n-scaling families: the same engine and f-AME workloads at growing node
+   counts, so a baseline comparison shows how round-machinery and protocol
+   costs scale.  The large instances (n >= 1024) only run outside quick
+   mode — they dominate suite wall-clock and quick baselines skip them. *)
+let scaling_ns ~quick = if quick then [ 64; 256 ] else [ 64; 256; 1024; 4096 ]
+
+let engine_scaling ~quick =
+  List.map
+    (fun n -> engine_bench ~name:(Printf.sprintf "engine/rounds-per-sec-n%d" n) ~n ~channels:16 ~t:4)
+    (scaling_ns ~quick)
+
+let fame_scaling ~quick =
+  List.map
+    (fun n ->
+      Test.make ~name:(Printf.sprintf "ame/fame-4-pairs-n%d" n)
+        (Staged.stage (fun () ->
+             let cfg = Radio.Config.make ~n ~channels:2 ~t:1 ~seed:5L () in
+             let pairs = Rgraph.Workload.disjoint_pairs ~n ~count:4 in
+             ignore
+               (Ame.Fame.run ~cfg ~pairs
+                  ~messages:(fun (v, w) -> Printf.sprintf "%d-%d" v w)
+                  ~adversary:(fun _ -> Radio.Adversary.null)
+                  ()))))
+    (scaling_ns ~quick)
+
+let micro_tests ~quick =
   let greedy_move =
     let g = Rgraph.Digraph.of_edges (Rgraph.Workload.complete ~n:10) in
     let st = Game.State.create g ~t:2 in
@@ -140,20 +168,25 @@ let micro_tests () =
   in
   [ prng; sha_small; sha_large; hmac; hmac_keyed; dh; seal; vc; greedy_move; game_full;
     engine_round; fame_small; engine_small; engine_2t2; prf_naive; prf_keyed ]
+  @ engine_scaling ~quick @ fame_scaling ~quick
 
 type micro_row = {
   bench_name : string;
   ns_per_run : float;
   minor_words_per_run : float;
+  major_words_per_run : float;
+  promoted_words_per_run : float;
 }
 
 (* Runs the Bechamel suite, printing the human table, and returns the rows
    for the structured --bench-json emitter. *)
-let run_micro () =
+let run_micro ~quick =
   print_endline "\n== Micro-benchmarks (Bechamel, monotonic clock) ==\n";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let clock = Toolkit.Instance.monotonic_clock in
   let minor = Toolkit.Instance.minor_allocated in
+  let major = Toolkit.Instance.major_allocated in
+  let promoted = Toolkit.Instance.promoted in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) () in
   let estimate analyzed name =
     match Hashtbl.find_opt analyzed name with
@@ -165,9 +198,11 @@ let run_micro () =
   in
   List.concat_map
     (fun test ->
-      let results = Benchmark.all cfg [ clock; minor ] test in
+      let results = Benchmark.all cfg [ clock; minor; major; promoted ] test in
       let by_time = Analyze.all ols clock results in
       let by_minor = Analyze.all ols minor results in
+      let by_major = Analyze.all ols major results in
+      let by_promoted = Analyze.all ols promoted results in
       let rows = ref [] in
       Det.iter
         (fun name ols_result ->
@@ -180,10 +215,14 @@ let run_micro () =
           if ns > 1_000_000.0 then Printf.printf "  %-28s %10.2f ms/run\n" name (ns /. 1e6)
           else if ns > 1_000.0 then Printf.printf "  %-28s %10.2f us/run\n" name (ns /. 1e3)
           else Printf.printf "  %-28s %10.2f ns/run\n" name ns;
-          rows := { bench_name = name; ns_per_run = ns; minor_words_per_run = words } :: !rows)
+          rows :=
+            { bench_name = name; ns_per_run = ns; minor_words_per_run = words;
+              major_words_per_run = estimate by_major name;
+              promoted_words_per_run = estimate by_promoted name }
+            :: !rows)
         by_time;
       List.rev !rows)
-    (micro_tests ())
+    (micro_tests ~quick)
 
 let render_outcome (o : Experiments.Runner.outcome) =
   Format.printf "@.### %s: %s@." o.experiment.Experiments.Registry.id
@@ -203,11 +242,47 @@ let timing_summary outcomes =
   Printf.printf "  total %7.2fs\n"
     (List.fold_left (fun acc (o : Experiments.Runner.outcome) -> acc +. o.wall_s) 0.0 outcomes)
 
+(* --jobs-sweep: re-run the selected experiments once per requested worker
+   count and record wall clock.  The digest over the concatenated rendered
+   tables must be identical across entries — bench_compare refuses a
+   document whose sweep rows disagree. *)
+type sweep_row = { sweep_jobs : int; sweep_wall_s : float; sweep_sha : string }
+
+let run_jobs_sweep ~quick ~experiments jobs_list =
+  List.map
+    (fun jobs ->
+      let outcomes, wall_s =
+        Parallel.Clock.time (fun () -> Experiments.Runner.run_many ~quick ~jobs experiments)
+      in
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun (o : Experiments.Runner.outcome) ->
+          Buffer.add_string buf (Format.asprintf "%a" Experiments.Runner.render o))
+        outcomes;
+      { sweep_jobs = jobs; sweep_wall_s = wall_s;
+        sweep_sha = Crypto.Sha256.digest_hex (Buffer.contents buf) })
+    jobs_list
+
+let jobs_sweep_report rows =
+  print_newline ();
+  print_endline "== --jobs sweep (wall-clock per worker count) ==";
+  List.iter
+    (fun r ->
+      Printf.printf "  jobs=%-3d %8.2fs  output sha256 %s...\n" r.sweep_jobs r.sweep_wall_s
+        (String.sub r.sweep_sha 0 12))
+    rows;
+  match rows with
+  | [] -> ()
+  | first :: rest ->
+    if List.for_all (fun r -> r.sweep_sha = first.sweep_sha) rest then
+      print_endline "  output: byte-identical across all worker counts"
+    else print_endline "  WARNING: output differs across worker counts (nondeterminism!)"
+
 (* The radio-bench/v1 document: micro-benchmark estimates plus a determinism
    fingerprint (rendered-output hash and round count) per experiment.  The
    fingerprint fields are exact — bench_compare gates on them — while the
    timing fields are environment-dependent and only ever reported. *)
-let bench_json ~quick ~micro_rows ~outcomes =
+let bench_json ~quick ~micro_rows ~outcomes ~sweep_rows =
   let open Experiments in
   Json.Obj
     [ ("schema", Json.String "radio-bench/v1");
@@ -221,8 +296,19 @@ let bench_json ~quick ~micro_rows ~outcomes =
                    ("ns_per_run", Json.Float row.ns_per_run);
                    ( "ops_per_sec",
                      Json.Float (if row.ns_per_run > 0.0 then 1e9 /. row.ns_per_run else nan) );
-                   ("minor_words_per_run", Json.Float row.minor_words_per_run) ])
+                   ("minor_words_per_run", Json.Float row.minor_words_per_run);
+                   ("major_words_per_run", Json.Float row.major_words_per_run);
+                   ("promoted_words_per_run", Json.Float row.promoted_words_per_run) ])
              micro_rows) );
+      ( "jobs_sweep",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [ ("jobs", Json.Int r.sweep_jobs);
+                   ("wall_s", Json.Float r.sweep_wall_s);
+                   ("output_sha256", Json.String r.sweep_sha) ])
+             sweep_rows) );
       ( "determinism",
         Json.List
           (List.map
@@ -235,18 +321,20 @@ let bench_json ~quick ~micro_rows ~outcomes =
                        (Crypto.Sha256.digest_hex (Format.asprintf "%a" Runner.render o)) ) ])
              outcomes) ) ]
 
-let write_bench_json ~path ~quick ~micro_rows ~outcomes =
+let write_bench_json ~path ~quick ~micro_rows ~outcomes ~sweep_rows =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (Experiments.Json.to_string (bench_json ~quick ~micro_rows ~outcomes));
+      output_string oc
+        (Experiments.Json.to_string (bench_json ~quick ~micro_rows ~outcomes ~sweep_rows));
       output_char oc '\n')
 
 type cli = {
   quick : bool;
   micro : bool;
   jobs : int;
+  jobs_sweep : int list;
   json : string option;
   bench_json : string option;
   ids : string list;
@@ -254,10 +342,20 @@ type cli = {
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [quick] [micro] [ID...] [--jobs N] [--json PATH] [--bench-json PATH]\n\
+    "usage: main.exe [quick] [micro] [ID...] [--jobs N] [--jobs-sweep N,N,...] [--json PATH] \
+     [--bench-json PATH]\n\
      available: %s, micro\n"
     (String.concat ", " Experiments.Registry.ids);
   exit 1
+
+let parse_jobs_sweep spec =
+  let parts = String.split_on_char ',' spec in
+  let jobs =
+    List.filter_map
+      (fun s -> match int_of_string_opt (String.trim s) with Some j when j >= 1 -> Some j | _ -> None)
+      parts
+  in
+  if List.length jobs <> List.length parts || jobs = [] then usage () else jobs
 
 let parse_args args =
   let rec go acc = function
@@ -268,6 +366,7 @@ let parse_args args =
       (match int_of_string_opt n with
        | Some jobs when jobs >= 1 -> go { acc with jobs } rest
        | _ -> usage ())
+    | "--jobs-sweep" :: spec :: rest -> go { acc with jobs_sweep = parse_jobs_sweep spec } rest
     | "--json" :: path :: rest -> go { acc with json = Some path } rest
     | "--bench-json" :: path :: rest -> go { acc with bench_json = Some path } rest
     | id :: rest ->
@@ -275,8 +374,8 @@ let parse_args args =
       else go { acc with ids = acc.ids @ [ id ] } rest
   in
   go
-    { quick = false; micro = false; jobs = Parallel.default_jobs (); json = None;
-      bench_json = None; ids = [] }
+    { quick = false; micro = false; jobs = Parallel.default_jobs (); jobs_sweep = [];
+      json = None; bench_json = None; ids = [] }
     args
 
 let () =
@@ -286,14 +385,14 @@ let () =
      tables; explicit ids skip micro unless it is also requested. *)
   let run_experiments = cli.ids <> [] || not cli.micro in
   let run_micro_too = cli.micro || cli.ids = [] in
+  let experiments =
+    match cli.ids with
+    | [] -> Experiments.Registry.all
+    | ids -> List.filter_map Experiments.Registry.find ids
+  in
   let outcomes =
     if not run_experiments then []
     else begin
-      let experiments =
-        match cli.ids with
-        | [] -> Experiments.Registry.all
-        | ids -> List.filter_map Experiments.Registry.find ids
-      in
       let outcomes =
         Experiments.Runner.run_many ~quick:cli.quick ~jobs:cli.jobs experiments
       in
@@ -312,10 +411,18 @@ let () =
       outcomes
     end
   in
-  let micro_rows = if run_micro_too then run_micro () else [] in
+  let sweep_rows =
+    if cli.jobs_sweep = [] then []
+    else begin
+      let rows = run_jobs_sweep ~quick:cli.quick ~experiments cli.jobs_sweep in
+      jobs_sweep_report rows;
+      rows
+    end
+  in
+  let micro_rows = if run_micro_too then run_micro ~quick:cli.quick else [] in
   match cli.bench_json with
   | Some path -> (
-    match write_bench_json ~path ~quick:cli.quick ~micro_rows ~outcomes with
+    match write_bench_json ~path ~quick:cli.quick ~micro_rows ~outcomes ~sweep_rows with
     | () -> Printf.printf "benchmark baseline written to %s\n" path
     | exception Sys_error msg ->
       Printf.eprintf "cannot write --bench-json results: %s\n" msg;

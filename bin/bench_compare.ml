@@ -1,12 +1,15 @@
 (* Compare two radio-bench/v1 documents (see bench/main.ml --bench-json).
 
-   Usage: bench_compare BASELINE.json CURRENT.json
+   Usage: bench_compare [--timing-tolerance PCT] BASELINE.json CURRENT.json
 
-   Determinism fields (per-experiment total_rounds and output_sha256) are a
-   hard gate: any drift, or an experiment that disappeared, exits nonzero.
-   Timing fields (ns/run, ops/sec, minor words) are environment-dependent
-   and only reported, never gated — CI machines and laptops disagree on
-   speed, but never on simulated bytes. *)
+   Determinism fields (per-experiment total_rounds and output_sha256, and
+   sha-consistency across any --jobs-sweep rows) are a hard gate: any
+   drift, or an experiment that disappeared, exits nonzero.  Timing fields
+   (ns/run, ops/sec, allocation words) are environment-dependent and only
+   reported, never gated — CI machines and laptops disagree on speed, but
+   never on simulated bytes.  --timing-tolerance PCT additionally flags
+   micro-benchmarks that slowed down by more than PCT percent; the flags
+   are informational and do not change the exit status. *)
 
 module Json = Experiments.Json
 
@@ -42,12 +45,18 @@ let assoc_rows ~key_field items =
     items
 
 let () =
-  let baseline_path, current_path =
-    match Sys.argv with
-    | [| _; b; c |] -> (b, c)
-    | _ ->
-      prerr_endline "usage: bench_compare BASELINE.json CURRENT.json";
-      exit 2
+  let usage () =
+    prerr_endline "usage: bench_compare [--timing-tolerance PCT] BASELINE.json CURRENT.json";
+    exit 2
+  in
+  let tolerance, baseline_path, current_path =
+    match Array.to_list Sys.argv with
+    | [ _; b; c ] -> (None, b, c)
+    | [ _; "--timing-tolerance"; pct; b; c ] -> (
+      match float_of_string_opt pct with
+      | Some p when p >= 0.0 -> (Some p, b, c)
+      | _ -> usage ())
+    | _ -> usage ()
   in
   let baseline = load baseline_path and current = load current_path in
   check_schema baseline_path baseline;
@@ -74,9 +83,25 @@ let () =
       if not (List.mem_assoc id base_det) then
         Printf.printf "note: %s present only in %s (new experiment?)\n" id current_path)
     cur_det;
+  (* -- jobs-sweep consistency gate: every sweep row of a document must carry
+     the same output hash, or the runner was nondeterministic under that
+     worker count.  Wall-clock differences across rows are expected. -- *)
+  let check_sweep path doc =
+    let shas =
+      List.filter_map (fun row -> str_field "output_sha256" row) (rows "jobs_sweep" doc)
+    in
+    match shas with
+    | [] | [ _ ] -> ()
+    | first :: rest ->
+      if not (List.for_all (String.equal first) rest) then
+        complain "%s: jobs_sweep output_sha256 differs across worker counts" path
+  in
+  check_sweep baseline_path baseline;
+  check_sweep current_path current;
   (* -- timing report (informational only) -- *)
   let base_micro = assoc_rows ~key_field:"name" (rows "micro" baseline) in
   let cur_micro = assoc_rows ~key_field:"name" (rows "micro" current) in
+  let slow = ref [] in
   if base_micro <> [] && cur_micro <> [] then begin
     Printf.printf "\n%-32s %12s %12s %8s\n" "micro-benchmark" "base ns" "cur ns" "speedup";
     List.iter
@@ -86,10 +111,25 @@ let () =
         | Some cur_row -> (
           match (float_field "ns_per_run" base_row, float_field "ns_per_run" cur_row) with
           | Some b, Some c when c > 0.0 ->
-            Printf.printf "%-32s %12.1f %12.1f %7.2fx\n" name b c (b /. c)
+            Printf.printf "%-32s %12.1f %12.1f %7.2fx\n" name b c (b /. c);
+            (match tolerance with
+             | Some pct when b > 0.0 && (c -. b) /. b *. 100.0 > pct ->
+               slow := (name, (c -. b) /. b *. 100.0) :: !slow
+             | _ -> ())
           | _ -> Printf.printf "%-32s %12s %12s %8s\n" name "?" "?" "?"))
       base_micro
   end;
+  (match tolerance with
+   | None -> ()
+   | Some pct ->
+     (match List.rev !slow with
+      | [] ->
+        Printf.printf "\ntiming: all micro-benchmarks within %.1f%% of baseline\n" pct
+      | regressions ->
+        Printf.printf "\ntiming: %d micro-benchmark(s) slower than baseline by more than %.1f%%:\n"
+          (List.length regressions) pct;
+        List.iter (fun (name, d) -> Printf.printf "  SLOW %-32s +%.1f%%\n" name d) regressions;
+        print_endline "  (informational only: timing never affects the exit status)"));
   if !drift > 0 then begin
     Printf.printf "\n%d determinism drift(s): simulated output changed.\n" !drift;
     exit 1

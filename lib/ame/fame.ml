@@ -60,13 +60,16 @@ let run ?(ame_params = Params.default) ?channels_used ?(feedback_mode = Sequenti
   let diverged = ref false in
   let moves_counter = ref 0 in
   let final_digests = Array.make n "" in
+  (* The initial game state is immutable and identical for every node;
+     build it once instead of n times (its universe set is the costly
+     part). *)
+  let initial_state =
+    Game.State.create ~proposal_size:channels_used ~min_proposal:(budget + 1) graph
+      ~t:budget
+  in
   let node_body (ctx : Radio.Engine.ctx) =
     let id = ctx.id in
-    let state =
-      ref
-        (Game.State.create ~proposal_size:channels_used ~min_proposal:(budget + 1) graph
-           ~t:budget)
-    in
+    let state = ref initial_state in
     let surrogate_map : (int, int list) Hashtbl.t = Hashtbl.create 16 in
     let known : (int, (int * string) list) Hashtbl.t = Hashtbl.create 16 in
     Hashtbl.replace known id (vector_for id);
@@ -139,29 +142,35 @@ let run ?(ame_params = Params.default) ?channels_used ?(feedback_mode = Sequenti
                 channels_used > t channels can be disrupted. *)
              diverged := true
            else begin
-             List.iter
-               (fun c ->
-                 match sched.Schedule.items.(c) with
-                 | Game.State.Node v ->
-                   Hashtbl.replace surrogate_map v (Array.to_list sched.Schedule.watchers.(c));
-                   (match (Schedule.role_of sched id, !my_recv) with
-                    | Schedule.Watch { channel }, Some (Radio.Frame.Vector { owner; entries })
-                      when channel = c && owner = v ->
-                      Hashtbl.replace known v entries
-                    | _ -> ())
-                 | Game.State.Edge (v, w) ->
-                   if id = w then begin
-                     match !my_recv with
-                     | Some (Radio.Frame.Vector { owner; entries }) when owner = v ->
-                       (match extract_entry entries ~dst:w with
-                        | Some body -> Hashtbl.replace delivered_cells (v, w) body
-                        | None -> ())
-                     | _ -> ()
-                   end;
-                   if id = v then Hashtbl.replace confirmed_cells (v, w) ())
-               successes;
-             state := Game.State.apply !state
-               (List.map (fun c -> sched.Schedule.items.(c)) successes)
+             (* One pass: record the bookkeeping for each successful channel
+                and collect the chosen items for the referee apply. *)
+             let chosen =
+               List.map
+                 (fun c ->
+                   let item = sched.Schedule.items.(c) in
+                   (match item with
+                    | Game.State.Node v ->
+                      Hashtbl.replace surrogate_map v
+                        (Array.to_list sched.Schedule.watchers.(c));
+                      (match (Schedule.role_of sched id, !my_recv) with
+                       | Schedule.Watch { channel }, Some (Radio.Frame.Vector { owner; entries })
+                         when channel = c && owner = v ->
+                         Hashtbl.replace known v entries
+                       | _ -> ())
+                    | Game.State.Edge (v, w) ->
+                      if id = w then begin
+                        match !my_recv with
+                        | Some (Radio.Frame.Vector { owner; entries }) when owner = v ->
+                          (match extract_entry entries ~dst:w with
+                           | Some body -> Hashtbl.replace delivered_cells (v, w) body
+                           | None -> ())
+                        | _ -> ()
+                      end;
+                      if id = v then Hashtbl.replace confirmed_cells (v, w) ());
+                   item)
+                 successes
+             in
+             state := Game.State.apply !state chosen
            end;
            if id = 0 then incr moves_counter;
            if not !diverged then play ())
@@ -171,13 +180,21 @@ let run ?(ame_params = Params.default) ?channels_used ?(feedback_mode = Sequenti
     (* Canonical serialization, not [Hashtbl.hash]: the polymorphic hash is
        no cross-host fingerprint, and divergence detection only needs
        equality of the final states. *)
-    final_digests.(id) <-
-      Printf.sprintf "%s|%s"
-        (String.concat ";"
-           (List.map
-              (fun (v, w) -> Printf.sprintf "%d-%d" v w)
-              (List.sort compare (Rgraph.Digraph.edges final.Game.State.graph))))
-        (String.concat "," (List.map string_of_int final.Game.State.starred))
+    let buf = Buffer.create 64 in
+    List.iteri
+      (fun i (v, w) ->
+        if i > 0 then Buffer.add_char buf ';';
+        Buffer.add_string buf (string_of_int v);
+        Buffer.add_char buf '-';
+        Buffer.add_string buf (string_of_int w))
+      (List.sort compare (Rgraph.Digraph.edges final.Game.State.graph));
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (string_of_int v))
+      final.Game.State.starred;
+    final_digests.(id) <- Buffer.contents buf
   in
   let engine = Radio.Engine.run cfg ~adversary:(adversary board) (Array.make n node_body) in
   let digest0 = final_digests.(0) in

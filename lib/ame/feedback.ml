@@ -1,25 +1,27 @@
 let rounds_consumed ~witnesses ~reps = Array.length witnesses * reps
 
-let rank_of witnesses_r id =
-  let rank = ref None in
-  Array.iteri (fun i w -> if w = id then rank := Some i) witnesses_r;
-  !rank
+(* [rank_of] without the per-call ref/closure pair: last matching index, or
+   -1 when absent (witness sets are duplicate-free, so last = first). *)
+let rec rank_scan arr id i acc =
+  if i >= Array.length arr then acc
+  (* radio-lint: allow partial-array-unsafe — i < length checked above *)
+  else rank_scan arr id (i + 1) (if Array.unsafe_get arr i = id then i else acc)
 
-let run ~my_id ~rng ~channels ~reps ~witnesses ~my_flag =
+let run_list ~my_id ~rng ~channels ~reps ~witnesses ~my_flag =
   let k = Array.length witnesses in
   let d = ref [] in
   for r = 0 to k - 1 do
     if Array.length witnesses.(r) <> channels then
       invalid_arg "Feedback.run: witness sets must have size C";
-    match rank_of witnesses.(r) my_id with
-    | Some rank ->
+    match rank_scan witnesses.(r) my_id 0 (-1) with
+    | rank when rank >= 0 ->
       (* Witness for channel r: occupy my rank channel every round. *)
       if my_flag && not (List.mem r !d) then d := r :: !d;
       let frame = if my_flag then Radio.Frame.Feedback_true r else Radio.Frame.Feedback_false in
       for _ = 1 to reps do
         Radio.Engine.transmit ~chan:rank frame
       done
-    | None ->
+    | _ ->
       (* Listener: a random channel per round; collect <true, r>. *)
       for _ = 1 to reps do
         let chan = Prng.Rng.int rng channels in
@@ -30,3 +32,38 @@ let run ~my_id ~rng ~channels ~reps ~witnesses ~my_flag =
       done
   done;
   List.sort compare !d
+
+let run ~my_id ~rng ~channels ~reps ~witnesses ~my_flag =
+  let k = Array.length witnesses in
+  if k > 62 then run_list ~my_id ~rng ~channels ~reps ~witnesses ~my_flag
+  else begin
+    (* Hot path: accumulate the successful-channel set as a bitmask instead
+       of a deduplicated list, then decode ascending (the same value the
+       sorted unique list produced). *)
+    let d = ref 0 in
+    for r = 0 to k - 1 do
+      if Array.length witnesses.(r) <> channels then
+        invalid_arg "Feedback.run: witness sets must have size C";
+      match rank_scan witnesses.(r) my_id 0 (-1) with
+      | rank when rank >= 0 ->
+        if my_flag then d := !d lor (1 lsl r);
+        let frame = if my_flag then Radio.Frame.Feedback_true r else Radio.Frame.Feedback_false in
+        for _ = 1 to reps do
+          Radio.Engine.transmit ~chan:rank frame
+        done
+      | _ ->
+        for _ = 1 to reps do
+          let chan = Prng.Rng.int rng channels in
+          match Radio.Engine.listen ~chan with
+          | Some (Radio.Frame.Feedback_true r') when r' = r -> d := !d lor (1 lsl r)
+          | Some _ | None -> ()
+        done
+    done;
+    let mask = !d in
+    let rec decode r =
+      if r >= k then []
+      else if mask land (1 lsl r) <> 0 then r :: decode (r + 1)
+      else decode (r + 1)
+    in
+    decode 0
+  end

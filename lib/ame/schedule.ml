@@ -9,18 +9,22 @@ type t = {
   witnesses : int array array;
 }
 
-module Int_set = Set.Make (Int)
-
 let build ~proposal ~surrogates ~n ~witness_size ~watchers_per_channel =
   if watchers_per_channel < witness_size then
     invalid_arg "Schedule.build: watchers_per_channel must be >= witness_size";
   let items = Array.of_list proposal in
   let k = Array.length items in
   if k = 0 then raise (Divergence "empty proposal");
-  let used = ref Int_set.empty in
+  (* Claimed-node scratch: one byte per node.  [build] runs once per node
+     per move, so the functional Int_set it used to thread here was the
+     dominant allocation of the f-AME epoch loop. *)
+  let used = Bytes.make n '\000' in
+  (* radio-lint: allow partial-array-unsafe — v < n guarded on the same line *)
+  let is_used v = v < n && Bytes.unsafe_get used v <> '\000' in
   let claim v =
-    if Int_set.mem v !used then raise (Divergence (Printf.sprintf "node %d claimed twice" v));
-    used := Int_set.add v !used
+    if is_used v then raise (Divergence (Printf.sprintf "node %d claimed twice" v));
+    (* radio-lint: allow partial-array-unsafe — 0 <= v < n guarded on the same line *)
+    if v >= 0 && v < n then Bytes.unsafe_set used v '\001'
   in
   (* Pass 1: receivers (edge destinations) and node-item broadcasters are
      forced; claim them before choosing edge broadcasters. *)
@@ -45,16 +49,18 @@ let build ~proposal ~surrogates ~n ~witness_size ~watchers_per_channel =
         owner.(c) <- v
       | Game.State.Edge (v, _) ->
         owner.(c) <- v;
-        if not (Int_set.mem v !used) then begin
+        if not (is_used v) then begin
           claim v;
           broadcaster.(c) <- v
         end
         else begin
-          match List.find_opt (fun s -> not (Int_set.mem s !used)) (surrogates v) with
-          | Some s ->
-            claim s;
-            broadcaster.(c) <- s
-          | None -> raise (Divergence (Printf.sprintf "no free surrogate for node %d" v))
+          let rec first_free = function
+            | [] -> raise (Divergence (Printf.sprintf "no free surrogate for node %d" v))
+            | s :: rest -> if is_used s then first_free rest else s
+          in
+          let s = first_free (surrogates v) in
+          claim s;
+          broadcaster.(c) <- s
         end)
     items;
   (* Pass 3: watchers, in increasing id order from the uninvolved nodes. *)
@@ -62,16 +68,21 @@ let build ~proposal ~surrogates ~n ~witness_size ~watchers_per_channel =
   let witnesses = Array.make k [||] in
   let next_free = ref 0 in
   let take_free () =
-    while !next_free < n && Int_set.mem !next_free !used do
+    (* radio-lint: allow partial-array-unsafe — !next_free < n guarded on the same line *)
+    while !next_free < n && Bytes.unsafe_get used !next_free <> '\000' do
       incr next_free
     done;
     if !next_free >= n then raise (Divergence "not enough nodes for watchers");
     let v = !next_free in
-    used := Int_set.add v !used;
+    (* radio-lint: allow partial-array-unsafe — v < n established by the raise above *)
+    Bytes.unsafe_set used v '\001';
     v
   in
   for c = 0 to k - 1 do
-    let ws = Array.init watchers_per_channel (fun _ -> take_free ()) in
+    let ws = Array.make watchers_per_channel 0 in
+    for i = 0 to watchers_per_channel - 1 do
+      ws.(i) <- take_free ()
+    done;
     watchers.(c) <- ws;
     witnesses.(c) <- Array.sub ws 0 witness_size
   done;
@@ -82,6 +93,13 @@ type role =
   | Receive of { channel : int; edge : int * int }
   | Watch of { channel : int }
   | Off
+
+(* [Array.exists (fun w -> w = id)] without the per-call closure. *)
+let mem_int arr (id : int) =
+  let len = Array.length arr in
+  (* radio-lint: allow partial-array-unsafe — i < len guarded on the same line *)
+  let rec go i = i < len && (Array.unsafe_get arr i = id || go (i + 1)) in
+  go 0
 
 let role_of t id =
   let k = Array.length t.items in
@@ -96,7 +114,7 @@ let role_of t id =
           mis-scheduling silently. *)
        (* radio-lint: allow partial-assert-false *)
        | Game.State.Node _ -> assert false)
-    else if Array.exists (fun w -> w = id) t.watchers.(c) then Watch { channel = c }
+    else if mem_int t.watchers.(c) id then Watch { channel = c }
     else scan (c + 1)
   in
   scan 0
@@ -105,19 +123,25 @@ let witness_channel t id =
   let k = Array.length t.items in
   let rec scan c =
     if c >= k then None
-    else if Array.exists (fun w -> w = id) t.witnesses.(c) then Some c
+    else if mem_int t.witnesses.(c) id then Some c
     else scan (c + 1)
   in
   scan 0
 
 let oracle_entry t =
-  let kinds =
-    Array.to_list
-      (Array.mapi
-         (fun c item ->
-           match item with
-           | Game.State.Node v -> (c, Oracle.Node_item v)
-           | Game.State.Edge e -> (c, Oracle.Edge_item e))
-         t.items)
+  (* Both lists in one backward pass, no intermediate array. *)
+  let k = Array.length t.items in
+  let rec go c =
+    if c >= k then ([], [])
+    else begin
+      let chans, kinds = go (c + 1) in
+      let kind =
+        match t.items.(c) with
+        | Game.State.Node v -> Oracle.Node_item v
+        | Game.State.Edge e -> Oracle.Edge_item e
+      in
+      (c :: chans, (c, kind) :: kinds)
+    end
   in
-  { Oracle.channels_in_use = List.map fst kinds; kinds }
+  let channels_in_use, kinds = go 0 in
+  { Oracle.channels_in_use; kinds }

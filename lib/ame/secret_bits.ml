@@ -61,16 +61,29 @@ let run ~rounds ~cfg ~sender ~receiver ~eavesdrop_channels ?(jam_budget = 0) () 
      channels per round; may jam a subset of those it monitors. *)
   let adv_rng = Prng.Rng.create (Int64.logxor cfg.Radio.Config.seed 0xEA5EL) in
   let monitored : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  (* Reusable permutation scratch: reset to the identity before each
+     shuffle, so the RNG consumption (and hence every result) is identical
+     to a freshly allocated [Array.init channels Fun.id] per round. *)
+  let perm = Array.init channels Fun.id in
+  let watched_count = min eavesdrop_channels channels in
   let adversary =
     { Radio.Adversary.name = "restricted-eavesdropper";
       act =
         (fun ~round ->
-          let arr = Array.init channels Fun.id in
-          Prng.Rng.shuffle adv_rng arr;
-          let watched = Array.to_list (Array.sub arr 0 (min eavesdrop_channels channels)) in
+          for i = 0 to channels - 1 do
+            (* radio-lint: allow partial-array-unsafe — perm has length channels *)
+            Array.unsafe_set perm i i
+          done;
+          Prng.Rng.shuffle adv_rng perm;
+          let rec prefix i =
+            if i >= watched_count then [] else perm.(i) :: prefix (i + 1)
+          in
+          let watched = prefix 0 in
           Hashtbl.replace monitored round watched;
-          List.filteri (fun i _ -> i < jam_budget) watched
-          |> List.map (fun chan -> { Radio.Adversary.chan; spoof = None }));
+          if jam_budget = 0 then []
+          else
+            List.filteri (fun i _ -> i < jam_budget) watched
+            |> List.map (fun chan -> { Radio.Adversary.chan; spoof = None }));
       observe = (fun _ -> ()); observes = false }
   in
   let engine = Radio.Engine.run cfg ~adversary (Array.make n node_body) in

@@ -3,7 +3,7 @@ let e13 ~quick ~jobs =
   let channels = t + 1 in
   let corruption_levels = if quick then [ 4 ] else [ 0; 2; 4; 8 ] in
   let outcomes =
-    Parallel.map_ordered ~jobs
+    Common.sweep ~jobs
       (fun corrupt_count ->
         (* Two sources fan out to 20..25.  With t = 1 both sources are
            starred in the first game move, so watcher (and therefore

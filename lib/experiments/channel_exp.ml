@@ -2,7 +2,7 @@ let e9 ~quick ~jobs =
   let scenarios = if quick then [ (1, 20) ] else [ (1, 20); (2, 30); (3, 40) ] in
   let messages_per_run = 6 in
   let outcomes =
-    Parallel.map_ordered ~jobs
+    Common.sweep ~jobs
       (fun (t, n) ->
         let channels = t + 1 in
         let cfg =

@@ -51,6 +51,12 @@ let render_to_string r =
   Format.pp_print_flush fmt ();
   Buffer.contents buf
 
+(* -- replicate fan-out ------------------------------------------------- *)
+
+let sweep ~jobs f xs = Parallel.map_ordered ~jobs f xs
+
+let replicates ~jobs ~trials f = sweep ~jobs f (List.init trials (fun i -> i + 1))
+
 let mean = function
   | [] -> nan
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

@@ -40,6 +40,27 @@ val render_to_string : result -> string
 val fmt_table : Format.formatter -> header:string list -> string list list -> unit
 (** Render rows as an aligned ASCII table. *)
 
+(** {1 Replicate fan-out}
+
+    Experiments run their independent units of work — seed-indexed trials,
+    parameter-grid points — through these combinators instead of serial
+    [List.map]/[List.init] loops.  Inside a {!Parallel.run} scope (the
+    runner installs one) the closures execute on the shared domain pool;
+    the merge is order-preserving, so output is byte-identical to the
+    serial run for any job count.  Each closure must derive its randomness
+    from its own argument (trial index or grid point), never from shared
+    state. *)
+
+val sweep : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [sweep ~jobs f xs] is [List.map f xs] fanned out through the pool with
+    an order-preserving merge ({!Parallel.map_ordered}). *)
+
+val replicates : jobs:int -> trials:int -> (int -> 'a) -> 'a list
+(** [replicates ~jobs ~trials f] runs [f 1 .. f trials] (1-based, matching
+    the historical trial loops) through the pool and returns the results in
+    trial order.  Exceptions propagate from the earliest-submitted failing
+    trial. *)
+
 val mean : float list -> float
 
 val pow2_floor : int -> int

@@ -42,7 +42,7 @@ let header = [ "protocol"; "adversary"; "t"; "|E|"; "delivered"; "failed"; "vc";
 (* Each row is one protocol run with an explicit seed: an independent task
    for the domain pool. *)
 let run_rows ~jobs specs =
-  let outcomes = Parallel.map_ordered ~jobs (fun spec -> spec ()) specs in
+  let outcomes = Common.sweep ~jobs (fun spec -> spec ()) specs in
   (List.map fst outcomes, List.fold_left (fun acc (_, r) -> acc + r) 0 outcomes)
 
 let e6 ~quick ~jobs =

@@ -5,7 +5,7 @@ let e15 ~quick ~jobs =
   let pairs = Rgraph.Workload.disjoint_pairs ~n ~count:8 in
   let budgets = if quick then [ 0; 100 ] else [ 0; 20; 50; 100; 200; 500; max_int ] in
   let outcomes =
-    Parallel.map_ordered ~jobs
+    Common.sweep ~jobs
       (fun total ->
         let adversary board =
           let inner =

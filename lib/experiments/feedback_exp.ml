@@ -38,36 +38,39 @@ let e5 ~quick ~jobs =
   let betas = if quick then [ 0.25; 3.0 ] else [ 0.25; 0.5; 1.0; 2.0; 3.0 ] in
   let trials = if quick then 10 else 40 in
   let scenarios = if quick then [ (2, 30) ] else [ (1, 20); (2, 30); (3, 40) ] in
-  let total = ref 0 in
-  let rows =
-    List.concat_map
-      (fun (t, n) ->
-        List.map
-          (fun beta ->
-            (* Each trial is an independent replicate keyed by an explicit
-               seed, so the fan-out over domains cannot perturb results. *)
-            let outcomes =
-              Parallel.map_ordered ~jobs
-                (fun trial ->
-                  agreement_trial ~beta ~t ~n ~seed:(Int64.of_int ((trial * 37) + (t * 1009))))
-                (List.init trials (fun i -> i + 1))
-            in
-            let failures =
-              List.length (List.filter (fun (agreed, _) -> not agreed) outcomes)
-            in
-            let rounds = List.fold_left (fun _ (_, r) -> r) 0 outcomes in
-            total := !total + List.fold_left (fun acc (_, r) -> acc + r) 0 outcomes;
-            let norm =
-              float_of_int rounds
-              /. (float_of_int (t * t) *. Common.log2 (float_of_int n))
-            in
-            [ string_of_int t; string_of_int n; Printf.sprintf "%.2f" beta;
-              string_of_int rounds; Printf.sprintf "%.2f" norm;
-              Printf.sprintf "%d/%d" failures trials ])
-          betas)
-      scenarios
+  (* Flatten the (scenario, beta) grid so the sweep sees every point; each
+     point returns (row, rounds) and the fold happens after the merge so
+     nothing mutates shared state from pool tasks. *)
+  let grid =
+    List.concat_map (fun (t, n) -> List.map (fun beta -> (t, n, beta)) betas) scenarios
   in
-  Common.result ~total_rounds:!total
+  let points =
+    Common.sweep ~jobs
+      (fun (t, n, beta) ->
+        (* Each trial is an independent replicate keyed by an explicit
+           seed, so the fan-out over domains cannot perturb results. *)
+        let outcomes =
+          Common.replicates ~jobs ~trials (fun trial ->
+              agreement_trial ~beta ~t ~n ~seed:(Int64.of_int ((trial * 37) + (t * 1009))))
+        in
+        let failures =
+          List.length (List.filter (fun (agreed, _) -> not agreed) outcomes)
+        in
+        let rounds = List.fold_left (fun _ (_, r) -> r) 0 outcomes in
+        let rounds_sum = List.fold_left (fun acc (_, r) -> acc + r) 0 outcomes in
+        let norm =
+          float_of_int rounds
+          /. (float_of_int (t * t) *. Common.log2 (float_of_int n))
+        in
+        ( [ string_of_int t; string_of_int n; Printf.sprintf "%.2f" beta;
+            string_of_int rounds; Printf.sprintf "%.2f" norm;
+            Printf.sprintf "%d/%d" failures trials ],
+          rounds_sum ))
+      grid
+  in
+  let rows = List.map fst points in
+  let total = List.fold_left (fun acc (_, r) -> acc + r) 0 points in
+  Common.result ~total_rounds:total
     [ Common.Blank;
       Common.text "== E5 / Lemma 5: communication-feedback agreement and cost ==";
       Common.text

@@ -43,7 +43,7 @@ let e1 ~quick ~jobs =
     else [ (1, 4); (1, 8); (1, 16); (2, 4); (2, 8); (2, 16); (3, 8); (3, 16) ]
   in
   let points =
-    Parallel.map_ordered ~jobs
+    Common.sweep ~jobs
       (fun (t, edges) ->
         row ~t ~channels:(t + 1) ~channels_used:(t + 1) ~feedback_mode:Ame.Fame.Sequential
           ~edges ~seed:(Int64.of_int ((t * 1000) + edges)) ~normalizer)
@@ -62,7 +62,7 @@ let e2 ~quick ~jobs =
     if quick then [ (2, 8) ] else [ (2, 4); (2, 8); (2, 16); (3, 8); (3, 16); (4, 8) ]
   in
   let points =
-    Parallel.map_ordered ~jobs
+    Common.sweep ~jobs
       (fun (t, edges) ->
         row ~t ~channels:(2 * t) ~channels_used:(2 * t) ~feedback_mode:Ame.Fame.Sequential
           ~edges ~seed:(Int64.of_int ((t * 2000) + edges)) ~normalizer)
@@ -80,7 +80,7 @@ let e2 ~quick ~jobs =
     else
       let t = 3 and edges = 8 in
       let points =
-        Parallel.map_ordered ~jobs
+        Common.sweep ~jobs
           (fun channels ->
             row ~t ~channels ~channels_used:channels ~feedback_mode:Ame.Fame.Sequential
               ~edges ~seed:(Int64.of_int ((t * 2500) + channels))
@@ -102,7 +102,7 @@ let e3 ~quick ~jobs =
     if quick then [ (2, 8) ] else [ (2, 4); (2, 8); (2, 16); (3, 8); (3, 16) ]
   in
   let points =
-    Parallel.map_ordered ~jobs
+    Common.sweep ~jobs
       (fun (t, edges) ->
         (* C' must be a power of two for the hypercube merge; round 2t up to
            one and give the adversary-facing channel count C = t * C'

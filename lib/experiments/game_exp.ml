@@ -2,7 +2,7 @@ let e4 ~quick ~jobs =
   let sizes = if quick then [ 6; 10 ] else [ 6; 10; 14; 18; 24 ] in
   let rows =
     List.concat
-      (Parallel.map_ordered ~jobs
+      (Common.sweep ~jobs
          (fun m ->
            let g = Rgraph.Digraph.of_edges (Rgraph.Workload.complete ~n:m) in
            let edges = Rgraph.Digraph.edge_count g in

@@ -5,7 +5,7 @@ let e10 ~quick ~jobs =
   let channels = 2 in
   let ns = if quick then [ 20 ] else [ 20; 28; 36; 44 ] in
   let outcomes =
-    Parallel.map_ordered ~jobs
+    Common.sweep ~jobs
       (fun n ->
         (* Gossip under a spoofing adversary that plants fake rumors. *)
         let cfg = Radio.Config.make ~seed:(Int64.of_int n) ~n ~channels ~t () in

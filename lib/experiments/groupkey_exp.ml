@@ -3,7 +3,7 @@ let e8 ~quick ~jobs =
     if quick then [ (1, 20) ] else [ (1, 20); (1, 28); (1, 36); (2, 40); (2, 52) ]
   in
   let outcomes =
-    Parallel.map_ordered ~jobs
+    Common.sweep ~jobs
       (fun (t, n) ->
         let channels = t + 1 in
         let cfg =

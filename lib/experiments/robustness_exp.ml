@@ -36,9 +36,10 @@ let e16 ~quick ~jobs =
     if quick then [ (1, "random") ]
     else [ (1, "random"); (1, "schedule"); (2, "random"); (2, "schedule") ]
   in
-  let total = ref 0 in
-  let rows =
-    List.map
+  (* Each grid point returns (row, rounds); the fold happens after the
+     merge so nothing mutates shared state from pool tasks. *)
+  let outcomes =
+    Common.sweep ~jobs
       (fun (t, adv_name) ->
         let channels = t + 1 in
         let n =
@@ -50,9 +51,8 @@ let e16 ~quick ~jobs =
         (* The whp sweep: every trial derives its RNG from an explicit seed,
            so the worst-case fold below is independent of domain scheduling. *)
         let outcomes =
-          Parallel.map_ordered ~jobs
-            (fun trial -> one_trial ~t ~adv_name ~n ~channels ~pairs ~trial)
-            (List.init trials (fun i -> i + 1))
+          Common.replicates ~jobs ~trials (fun trial ->
+              one_trial ~t ~adv_name ~n ~channels ~pairs ~trial)
         in
         let worst_vc =
           List.fold_left (fun acc o -> match o.vc with Some v -> max acc v | None -> acc) 0
@@ -63,15 +63,18 @@ let e16 ~quick ~jobs =
         in
         let audit_violations = List.fold_left (fun acc o -> acc + o.violations) 0 outcomes in
         let delivered_total = List.fold_left (fun acc o -> acc + o.delivered) 0 outcomes in
-        total := !total + List.fold_left (fun acc o -> acc + o.rounds) 0 outcomes;
-        [ string_of_int t; adv_name; string_of_int trials;
-          string_of_int worst_vc; string_of_int t;
-          Printf.sprintf "%d/%d" divergences trials;
-          string_of_int audit_violations;
-          Printf.sprintf "%.1f" (float_of_int delivered_total /. float_of_int trials) ])
+        let rounds = List.fold_left (fun acc o -> acc + o.rounds) 0 outcomes in
+        ( [ string_of_int t; adv_name; string_of_int trials;
+            string_of_int worst_vc; string_of_int t;
+            Printf.sprintf "%d/%d" divergences trials;
+            string_of_int audit_violations;
+            Printf.sprintf "%.1f" (float_of_int delivered_total /. float_of_int trials) ],
+          rounds ))
       configs
   in
-  Common.result ~total_rounds:!total
+  let rows = List.map fst outcomes in
+  let total = List.fold_left (fun acc (_, r) -> acc + r) 0 outcomes in
+  Common.result ~total_rounds:total
     [ Common.Blank;
       Common.text "== E16 / whp claims under repetition: worst case over many seeds ==";
       Common.Blank;

@@ -5,17 +5,22 @@ type outcome = {
 }
 
 let run_one ~quick ~jobs (e : Registry.experiment) =
-  let result, wall_s = Parallel.Clock.time (fun () -> e.Registry.run ~quick ~jobs) in
-  { experiment = e; result; wall_s }
+  (* Installs the shared pool if no outer scope did, so a lone experiment
+     still fans its replicates out across the full budget. *)
+  Parallel.run ~jobs (fun () ->
+      let result, wall_s = Parallel.Clock.time (fun () -> e.Registry.run ~quick ~jobs) in
+      { experiment = e; result; wall_s })
 
-let run_many ~quick ~jobs = function
-  | [ e ] -> [ run_one ~quick ~jobs e ]
-  | es ->
-    (* With several experiments the fan-out happens here, across
-       experiments; each one then runs its replicates serially (jobs:1) so
-       the domain budget is spent once, not squared.  map_ordered's merge
-       keeps the outcome order equal to the request order. *)
-    Parallel.map_ordered ~jobs (fun e -> run_one ~quick ~jobs:1 e) es
+let run_many ~quick ~jobs es =
+  (* One shared pool serves both levels: the fan-out across experiments
+     here and each experiment's own replicate fan-out.  The helping join in
+     [Parallel.Pool] lets the nested submissions share the global domain
+     budget instead of squaring it, and the order-preserving merges keep
+     the outcome order equal to the request order at every level. *)
+  Parallel.run ~jobs (fun () ->
+      match es with
+      | [ e ] -> [ run_one ~quick ~jobs e ]
+      | es -> Parallel.map_ordered ~jobs (fun e -> run_one ~quick ~jobs e) es)
 
 let render fmt (o : outcome) = Common.render fmt o.result
 

@@ -10,13 +10,13 @@ let e17 ~quick ~jobs =
   let configs =
     if quick then [ (4, 1, 60) ] else [ (3, 1, 60); (4, 1, 60); (4, 2, 60); (6, 2, 90) ]
   in
-  let total = ref 0 in
-  let rows =
-    List.map
+  (* Each grid point returns (row, rounds); the fold happens after the
+     merge so nothing mutates shared state from pool tasks. *)
+  let points =
+    Common.sweep ~jobs
       (fun (channels, eaves, rounds) ->
         let outcomes =
-          Parallel.map_ordered ~jobs
-            (fun trial ->
+          Common.replicates ~jobs ~trials (fun trial ->
               let cfg =
                 Radio.Config.make ~n:6 ~channels ~t:(min eaves (channels - 1))
                   ~seed:(Int64.of_int ((trial * 101) + channels)) ()
@@ -29,26 +29,27 @@ let e17 ~quick ~jobs =
                 overheard = o.Ame.Secret_bits.overheard;
                 breached = o.Ame.Secret_bits.breached;
                 mismatched = o.Ame.Secret_bits.sender_key <> o.Ame.Secret_bits.receiver_key })
-            (List.init trials (fun i -> i + 1))
         in
         let agreed_total = List.fold_left (fun acc o -> acc + o.agreed) 0 outcomes in
         let overheard_total = List.fold_left (fun acc o -> acc + o.overheard) 0 outcomes in
         let breaches = List.length (List.filter (fun o -> o.breached) outcomes) in
         let mismatches = List.length (List.filter (fun o -> o.mismatched) outcomes) in
-        total := !total + (rounds * trials);
         let frac =
           if agreed_total = 0 then 0.0
           else float_of_int overheard_total /. float_of_int agreed_total
         in
-        [ string_of_int channels; string_of_int eaves; string_of_int rounds;
-          Printf.sprintf "%.1f" (float_of_int agreed_total /. float_of_int trials);
-          Printf.sprintf "%.2f" frac;
-          Printf.sprintf "%.2f" (float_of_int eaves /. float_of_int channels);
-          Printf.sprintf "%d/%d" breaches trials;
-          string_of_int mismatches ])
+        ( [ string_of_int channels; string_of_int eaves; string_of_int rounds;
+            Printf.sprintf "%.1f" (float_of_int agreed_total /. float_of_int trials);
+            Printf.sprintf "%.2f" frac;
+            Printf.sprintf "%.2f" (float_of_int eaves /. float_of_int channels);
+            Printf.sprintf "%d/%d" breaches trials;
+            string_of_int mismatches ],
+          rounds * trials ))
       configs
   in
-  Common.result ~total_rounds:!total
+  let rows = List.map fst points in
+  let total = List.fold_left (fun acc (_, r) -> acc + r) 0 points in
+  Common.result ~total_rounds:total
     [ Common.Blank;
       Common.text
         "== E17 / Section 8 open question 2: secrets against a t-channel eavesdropper ==";

@@ -3,7 +3,7 @@ let e11 ~quick ~jobs =
   let channels = 2 in
   let fan_outs = if quick then [ 4 ] else [ 2; 4; 8; 12 ] in
   let outcomes =
-    Parallel.map_ordered ~jobs
+    Common.sweep ~jobs
       (fun k ->
         let sources = [ 0; 1; 2; 3 ] in
         let dests = List.init k (fun i -> 10 + i) in

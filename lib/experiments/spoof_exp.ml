@@ -3,9 +3,10 @@ type naive_tally = { fooled : int; genuine : int; nothing : int }
 let e7 ~quick ~jobs =
   let trials = if quick then 10 else 50 in
   let ts = if quick then [ 2 ] else [ 1; 2; 3 ] in
-  let total = ref 0 in
-  let rows =
-    List.concat_map
+  (* Each t returns (rows, rounds); the fold happens after the merge so
+     nothing mutates shared state from pool tasks. *)
+  let points =
+    Common.sweep ~jobs
       (fun t ->
         let channels = t + 1 in
         let n = Common.fame_nodes_for ~t ~channels_used:channels ~channels in
@@ -13,8 +14,7 @@ let e7 ~quick ~jobs =
         let attacked = List.filteri (fun i _ -> i < t) pairs in
         (* Naive protocol: independent replicates per trial seed. *)
         let naive_tallies =
-          Parallel.map_ordered ~jobs
-            (fun trial ->
+          Common.replicates ~jobs ~trials (fun trial ->
               let seed = Int64.of_int ((trial * 131) + t) in
               let cfg = Radio.Config.make ~seed ~n ~channels ~t () in
               let adversary =
@@ -36,7 +36,6 @@ let e7 ~quick ~jobs =
                   else acc)
                 { fooled = 0; genuine = 0; nothing = 0 }
                 r.Ame.Naive.verdicts)
-            (List.init trials (fun i -> i + 1))
         in
         let tally =
           List.fold_left
@@ -49,8 +48,7 @@ let e7 ~quick ~jobs =
         in
         (* f-AME under the same adversary. *)
         let fame_outcomes =
-          Parallel.map_ordered ~jobs
-            (fun trial ->
+          Common.replicates ~jobs ~trials:(trials / 5) (fun trial ->
               let seed = Int64.of_int ((trial * 733) + t) in
               let cfg =
                 Radio.Config.make ~seed ~n ~channels ~t
@@ -72,25 +70,27 @@ let e7 ~quick ~jobs =
               in
               (List.length o.Ame.Fame.delivered, fakes,
                o.Ame.Fame.engine.Radio.Engine.rounds_used))
-            (List.init (trials / 5) (fun i -> i + 1))
         in
         let fame_delivered =
           List.fold_left (fun acc (d, _, _) -> acc + d) 0 fame_outcomes
         in
         let fame_fakes = List.fold_left (fun acc (_, f, _) -> acc + f) 0 fame_outcomes in
-        total := !total + List.fold_left (fun acc (_, _, r) -> acc + r) 0 fame_outcomes;
+        let rounds = List.fold_left (fun acc (_, _, r) -> acc + r) 0 fame_outcomes in
         let all = trials * t in
-        [ [ "naive"; string_of_int t; string_of_int all;
-            Printf.sprintf "%d (%.0f%%)" tally.fooled
-              (100.0 *. float_of_int tally.fooled /. float_of_int all);
-            Printf.sprintf "%d (%.0f%%)" tally.genuine
-              (100.0 *. float_of_int tally.genuine /. float_of_int all);
-            string_of_int tally.nothing ];
-          [ "f-AME"; string_of_int t; string_of_int fame_delivered;
-            string_of_int fame_fakes; "-"; "-" ] ])
+        ( [ [ "naive"; string_of_int t; string_of_int all;
+              Printf.sprintf "%d (%.0f%%)" tally.fooled
+                (100.0 *. float_of_int tally.fooled /. float_of_int all);
+              Printf.sprintf "%d (%.0f%%)" tally.genuine
+                (100.0 *. float_of_int tally.genuine /. float_of_int all);
+              string_of_int tally.nothing ];
+            [ "f-AME"; string_of_int t; string_of_int fame_delivered;
+              string_of_int fame_fakes; "-"; "-" ] ],
+          rounds ))
       ts
   in
-  Common.result ~total_rounds:!total
+  let rows = List.concat_map fst points in
+  let total = List.fold_left (fun acc (_, r) -> acc + r) 0 points in
+  Common.result ~total_rounds:total
     [ Common.Blank; Common.text "== E7 / Theorem 2: spoof-acceptance, naive vs f-AME ==";
       Common.Blank;
       Common.table

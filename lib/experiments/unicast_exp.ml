@@ -6,7 +6,7 @@ let e14 ~quick ~jobs =
     else [ (2, 1); (2, 2); (2, 4); (4, 1); (4, 2); (4, 4); (4, 6); (8, 4); (8, 6) ]
   in
   let outcomes =
-    Parallel.map_ordered ~jobs
+    Common.sweep ~jobs
       (fun (channels, pair_count) ->
         let n = max 16 (2 * pair_count + 2) in
         let cfg =

@@ -9,13 +9,17 @@ let p2 (st : State.t) =
     (fun (v, w) -> (not (Int_set.mem v p1_set)) && not (Int_set.mem w p1_set))
     (Rgraph.Digraph.edges st.graph)
 
+let rec take_nodes k = function
+  | v :: tl when k > 0 -> State.Node v :: take_nodes (k - 1) tl
+  | _ -> []
+
 let proposal (st : State.t) =
   let max_size = st.max_proposal in
   let nodes = p1 st in
-  let node_items = List.filteri (fun i _ -> i < max_size) nodes in
+  let node_items = take_nodes max_size nodes in
   let missing = max_size - List.length node_items in
   let items =
-    if missing = 0 then List.map (fun v -> State.Node v) node_items
+    if missing = 0 then node_items
     else begin
       (* Destination-disjoint edges from P2, in sorted order.  P2 edges touch
          no P1 node and their sources are starred, so the combined proposal
@@ -27,8 +31,7 @@ let proposal (st : State.t) =
             else (e :: acc, Int_set.add w used_dests))
           ([], Int_set.empty) (p2 st)
       in
-      List.map (fun v -> State.Node v) node_items
-      @ List.map (fun e -> State.Edge e) (List.rev edges)
+      node_items @ List.map (fun e -> State.Edge e) (List.rev edges)
     end
   in
   if List.length items < st.min_proposal then None else Some items

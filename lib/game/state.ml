@@ -77,15 +77,23 @@ let check_proposal t items =
       end
   end
 
+(* [starred] is kept sorted (see [apply]), so insertion preserves exactly
+   what [List.sort compare (v :: starred)] used to produce. *)
+let rec insert_sorted (v : int) = function
+  | [] -> [ v ]
+  | x :: tl as l -> if v < x then v :: l else if v = x then l else x :: insert_sorted v tl
+
 let apply t chosen =
   if chosen = [] then invalid_arg "State.apply: referee response must be non-empty";
-  List.fold_left
-    (fun acc item ->
+  (* Accumulate all updates, then copy the record once. *)
+  let starred = ref t.starred and graph = ref t.graph in
+  List.iter
+    (fun item ->
       match item with
-      | Node v ->
-        if List.mem v acc.starred then acc
-        else { acc with starred = List.sort compare (v :: acc.starred) }
-      | Edge e -> { acc with graph = Rgraph.Digraph.remove_edge acc.graph e })
-    t chosen
+      | Node v -> starred := insert_sorted v !starred
+      | Edge e -> graph := Rgraph.Digraph.remove_edge !graph e)
+    chosen;
+  if !starred == t.starred && !graph == t.graph then t
+  else { t with starred = !starred; graph = !graph }
 
 let won t = Rgraph.Vertex_cover.at_most t.graph t.budget

@@ -37,7 +37,12 @@ let vertices t =
     (Edge_set.fold (fun (v, w) acc -> Int_set.add v (Int_set.add w acc)) t Int_set.empty)
 
 let sources t =
-  Int_set.elements (Edge_set.fold (fun (v, _) acc -> Int_set.add v acc) t Int_set.empty)
+  (* Edge_set.fold visits edges in increasing (v, w) order, so duplicate
+     sources are adjacent: dedup on the fly instead of building a set. *)
+  List.rev
+    (Edge_set.fold
+       (fun (v, _) acc -> match acc with x :: _ when x = v -> acc | _ -> v :: acc)
+       t [])
 
 let out_edges t v = Edge_set.elements (Edge_set.filter (fun (x, _) -> x = v) t)
 

@@ -68,6 +68,10 @@ let ident_rule path =
   | [ "Hashtbl"; f ] | [ "MoreLabels"; "Hashtbl"; f ] when order_sensitive f ->
     Some "nondet-hashtbl-order"
   | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param") ] -> Some "nondet-poly-hash"
+  | [ "Domain"; ("spawn" | "join") ]
+  | [ ("Mutex" | "Condition" | "Semaphore"); "create" ]
+  | [ "Semaphore"; ("Counting" | "Binary"); "make" ] ->
+    Some "nondet-domain"
   | [ ("List" | "ListLabels"); ("hd" | "nth") ] -> Some "partial-list"
   | [ "Option"; "get" ] -> Some "partial-option-get"
   | [ ("Array" | "ArrayLabels" | "Bytes" | "BytesLabels"); f ] when is_unsafe_accessor f ->

@@ -39,6 +39,11 @@ let all =
     { id = "nondet-poly-hash";
       family = Nondet;
       summary = "polymorphic Hashtbl.hash is not a stable fingerprint; serialize instead" };
+    { id = "nondet-domain";
+      family = Nondet;
+      summary =
+        "raw Domain/Mutex/Condition primitives schedule nondeterministically; go through \
+         Parallel (lib/parallel owns the domain budget and the ordered merge)" };
     { id = "partial-list";
       family = Partiality;
       summary = "List.hd/List.nth can raise; match or use nth_opt with a total fallback" };

@@ -1,9 +1,24 @@
+(* A shared work-stealing pool.
+
+   One queue, [budget - 1] worker domains, and a helping join: the caller
+   of [map_ordered] (worker or not) executes queued tasks itself while its
+   own batch is outstanding, so nested [map_ordered] calls from inside a
+   pool task compose without spawning domains or deadlocking — a waiter
+   never blocks while the queue is non-empty, and a task that finishes on
+   another domain wakes every waiter via [work].
+
+   Invariant: [queue], [stopping], and every join-point's [remaining]
+   counter are guarded by [mutex]; [work] is signaled on submission and
+   broadcast when a join-point drains, so both workers and helping waiters
+   share one wake-up channel. *)
+
 type t = {
   mutex : Mutex.t;
-  nonempty : Condition.t;
+  work : Condition.t;
   queue : (unit -> unit) Queue.t;
   mutable stopping : bool;
   mutable workers : unit Domain.t array;
+  budget : int;
 }
 
 let locked pool f =
@@ -13,7 +28,7 @@ let locked pool f =
 let rec worker_loop pool =
   Mutex.lock pool.mutex;
   while Queue.is_empty pool.queue && not pool.stopping do
-    Condition.wait pool.nonempty pool.mutex
+    Condition.wait pool.work pool.mutex
   done;
   match Queue.take_opt pool.queue with
   | Some task ->
@@ -25,24 +40,21 @@ let rec worker_loop pool =
     Mutex.unlock pool.mutex
 
 let create ~domains =
-  let domains = max domains 1 in
+  let budget = max domains 1 in
   let pool =
     { mutex = Mutex.create ();
-      nonempty = Condition.create ();
+      work = Condition.create ();
       queue = Queue.create ();
       stopping = false;
-      workers = [||] }
+      workers = [||];
+      budget }
   in
-  pool.workers <- Array.init domains (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  (* The caller of map_ordered always helps, so [budget] concurrent domains
+     means [budget - 1] dedicated workers. *)
+  pool.workers <- Array.init (budget - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
   pool
 
-let size pool = Array.length pool.workers
-
-let submit pool task =
-  locked pool (fun () ->
-      if pool.stopping then invalid_arg "Pool.submit: pool is shut down";
-      Queue.add task pool.queue;
-      Condition.signal pool.nonempty)
+let size pool = pool.budget
 
 let shutdown pool =
   let join =
@@ -50,7 +62,7 @@ let shutdown pool =
         if pool.stopping then false
         else begin
           pool.stopping <- true;
-          Condition.broadcast pool.nonempty;
+          Condition.broadcast pool.work;
           true
         end)
   in
@@ -60,15 +72,6 @@ let with_pool ~domains f =
   let pool = create ~domains in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-(* Completion tracking for one map_ordered call: its own mutex/condition so
-   concurrent map_ordered calls on a shared pool cannot wake each other. *)
-type 'b join_point = {
-  jp_mutex : Mutex.t;
-  jp_done : Condition.t;
-  mutable remaining : int;
-  slots : ('b, exn * Printexc.raw_backtrace) result option array;
-}
-
 let map_ordered pool f xs =
   match xs with
   | [] -> []
@@ -76,32 +79,51 @@ let map_ordered pool f xs =
   | _ ->
     let items = Array.of_list xs in
     let n = Array.length items in
-    let jp =
-      { jp_mutex = Mutex.create ();
-        jp_done = Condition.create ();
-        remaining = n;
-        slots = Array.make n None }
+    (* Per-call join point: slots and the counter live on this caller's
+       stack; [remaining] is guarded by the pool mutex so completion and
+       the helping loop share one lock and one condition. *)
+    let slots : ('b, exn * Printexc.raw_backtrace) result option array = Array.make n None in
+    let remaining = ref n in
+    let run_task i =
+      let outcome =
+        match f items.(i) with
+        | y -> Ok y
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock pool.mutex;
+      slots.(i) <- Some outcome;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast pool.work;
+      Mutex.unlock pool.mutex
     in
+    Mutex.lock pool.mutex;
+    if pool.stopping then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Pool.map_ordered: pool is shut down"
+    end;
     for i = 0 to n - 1 do
-      submit pool (fun () ->
-          let outcome =
-            match f items.(i) with
-            | y -> Ok y
-            | exception e -> Error (e, Printexc.get_raw_backtrace ())
-          in
-          Mutex.lock jp.jp_mutex;
-          jp.slots.(i) <- Some outcome;
-          jp.remaining <- jp.remaining - 1;
-          if jp.remaining = 0 then Condition.signal jp.jp_done;
-          Mutex.unlock jp.jp_mutex)
+      Queue.add (fun () -> run_task i) pool.queue
     done;
-    Mutex.lock jp.jp_mutex;
-    while jp.remaining > 0 do
-      Condition.wait jp.jp_done jp.jp_mutex
-    done;
-    Mutex.unlock jp.jp_mutex;
+    if Array.length pool.workers > 0 then Condition.broadcast pool.work;
+    (* Helping join: run queued tasks (ours or anyone's) until our batch
+       settles; block only when the queue is empty, i.e. every outstanding
+       task of ours is already running on another domain. *)
+    let rec join () =
+      if !remaining > 0 then
+        match Queue.take_opt pool.queue with
+        | Some task ->
+          Mutex.unlock pool.mutex;
+          task ();
+          Mutex.lock pool.mutex;
+          join ()
+        | None ->
+          Condition.wait pool.work pool.mutex;
+          join ()
+    in
+    join ();
+    Mutex.unlock pool.mutex;
     (* Merge in submission order; surface the earliest failure. *)
-    Array.to_list jp.slots
+    Array.to_list slots
     |> List.map (function
          | Some (Ok y) -> y
          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt

@@ -11,7 +11,18 @@ val create : int64 -> t
 val copy : t -> t
 
 val next : t -> int64
-(** Next 64-bit output. *)
+(** Next 64-bit output (boxed; equals [step] + [out_hi]/[out_lo]). *)
+
+val step : t -> unit
+(** Advance the state one draw without boxing the output; read it through
+    {!out_hi}/{!out_lo} before the next [step].  This is the allocation-free
+    hot path used by [Rng]'s small-bound draws. *)
+
+val out_hi : t -> int
+(** High 32 bits of the latest {!step} output, in [0, 2^32). *)
+
+val out_lo : t -> int
+(** Low 32 bits of the latest {!step} output, in [0, 2^32). *)
 
 val jump : t -> unit
 (** Advance the state by 2^128 steps; used to create non-overlapping

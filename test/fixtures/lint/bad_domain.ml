@@ -1,0 +1,11 @@
+(* Lint fixture: raw parallelism primitives outside lib/parallel. *)
+
+let worker f = Domain.spawn f
+
+let wait d = Domain.join d
+
+let lock = Mutex.create ()
+
+let cond = Condition.create ()
+
+let sem = Semaphore.Counting.make 4

@@ -1,0 +1,15 @@
+(* Lint fixture: the same primitives, each quieted by an escape comment —
+   the shape lib/parallel itself would need if it were not allowlisted. *)
+
+let worker f = Domain.spawn f (* radio-lint: allow nondet-domain — fixture *)
+
+(* radio-lint: allow nondet-domain *)
+let wait d = Domain.join d
+
+(* radio-lint: allow nondet-domain *)
+let lock = Mutex.create ()
+
+let cond = Condition.create () (* radio-lint: allow nondet-domain *)
+
+(* radio-lint: allow nondet-domain *)
+let sem = Semaphore.Counting.make 4

@@ -100,6 +100,29 @@ let test_nondet_escaped () =
     (fun (_, reason) -> Alcotest.(check string) "reason" "escape-comment" reason)
     report.Lint.Engine.suppressed
 
+let test_domain_fires () =
+  let report = run [ "bad_domain.ml" ] in
+  check_no_errors report;
+  Alcotest.(check (list string)) "every raw parallelism primitive caught"
+    [ "nondet-domain"; "nondet-domain"; "nondet-domain"; "nondet-domain"; "nondet-domain" ]
+    (active_rules report)
+
+let test_domain_escaped () =
+  let report = run [ "ok_domain.ml" ] in
+  check_no_errors report;
+  Alcotest.(check (list string)) "no active violations" [] (active_rules report);
+  Alcotest.(check int) "all hits suppressed" 5 (List.length report.Lint.Engine.suppressed)
+
+let test_domain_allowlisted () =
+  (* The shape the repo config uses: lib/parallel on the allowlist. *)
+  let rules = [ ("nondet-domain", rule_cfg ~allow:[ fx "bad_domain.ml" ] ()) ] in
+  let report = run ~rules [ "bad_domain.ml" ] in
+  Alcotest.(check (list string)) "no active violations" [] (active_rules report);
+  Alcotest.(check int) "all hits suppressed" 5 (List.length report.Lint.Engine.suppressed);
+  List.iter
+    (fun (_, reason) -> Alcotest.(check string) "reason" "allowlist" reason)
+    report.Lint.Engine.suppressed
+
 (* --- partiality family ---------------------------------------------- *)
 
 let test_partial_fires () =
@@ -208,7 +231,10 @@ let () =
           Alcotest.test_case "prefix semantics" `Quick test_prefix_semantics ] );
       ( "nondet",
         [ Alcotest.test_case "fires" `Quick test_nondet_fires;
-          Alcotest.test_case "escape comments" `Quick test_nondet_escaped ] );
+          Alcotest.test_case "escape comments" `Quick test_nondet_escaped;
+          Alcotest.test_case "domain fires" `Quick test_domain_fires;
+          Alcotest.test_case "domain escape comments" `Quick test_domain_escaped;
+          Alcotest.test_case "domain allowlist" `Quick test_domain_allowlisted ] );
       ( "partiality",
         [ Alcotest.test_case "fires" `Quick test_partial_fires;
           Alcotest.test_case "escape comments" `Quick test_partial_escaped;

@@ -57,6 +57,40 @@ let pool_shutdown () =
   (* Idempotent. *)
   Parallel.Pool.shutdown pool
 
+let pool_nested () =
+  (* The tentpole contract: a task may submit to the pool it runs on.  The
+     submitting task helps drain the queue instead of blocking a domain, so
+     nesting can neither deadlock nor starve; both levels keep order. *)
+  let expected =
+    List.map (fun outer -> List.map (fun i -> jittered_square ((10 * outer) + i)) [ 0; 1; 2; 3 ])
+      (List.init 8 Fun.id)
+  in
+  Parallel.Pool.with_pool ~domains:3 (fun pool ->
+      let got =
+        Parallel.Pool.map_ordered pool
+          (fun outer ->
+            Parallel.Pool.map_ordered pool
+              (fun i -> jittered_square ((10 * outer) + i))
+              [ 0; 1; 2; 3 ])
+          (List.init 8 Fun.id)
+      in
+      check (Alcotest.list (Alcotest.list Alcotest.int)) "nested order preserved" expected got)
+
+let pool_nested_exception () =
+  (* An inner failure surfaces through both join points as the original
+     exception, and the earliest inner failure wins. *)
+  Parallel.Pool.with_pool ~domains:3 (fun pool ->
+      match
+        Parallel.Pool.map_ordered pool
+          (fun outer ->
+            Parallel.Pool.map_ordered pool
+              (fun i -> if outer = 1 then raise (Boom ((10 * outer) + i)) else i)
+              [ 0; 1; 2 ])
+          [ 0; 1; 2 ]
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom x -> check Alcotest.int "earliest inner failure" 10 x)
+
 (* -- map_ordered: the clamped convenience form -- *)
 
 let map_ordered_matches_serial () =
@@ -74,6 +108,26 @@ let map_ordered_serial_exception () =
   | _ -> Alcotest.fail "expected Boom"
   | exception Boom x -> check Alcotest.int "serial path raises" 9 x
 
+(* -- replicates combinator -- *)
+
+let replicates_values () =
+  (* 1-based trial indices, submission order, identical at every jobs. *)
+  let expected = List.init 10 (fun i -> (i + 1) * (i + 1)) in
+  List.iter
+    (fun jobs ->
+      check (Alcotest.list Alcotest.int)
+        (Printf.sprintf "trials in order at jobs=%d" jobs)
+        expected
+        (Experiments.Common.replicates ~jobs ~trials:10 (fun trial -> trial * trial)))
+    [ 1; 4 ]
+
+let replicates_earliest_failure () =
+  match Experiments.Common.replicates ~jobs:4 ~trials:8 (fun trial ->
+      if trial >= 3 then raise (Boom trial) else trial)
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom t -> check Alcotest.int "earliest trial wins" 3 t
+
 (* -- determinism of the experiment layer -- *)
 
 let rendered id ~jobs =
@@ -84,14 +138,15 @@ let rendered id ~jobs =
 
 let experiment_determinism () =
   (* The acceptance bar for the whole runner: parallel fan-out renders the
-     exact bytes of the serial run.  e4 and e5 are the fast experiments
-     with genuinely parallel inner loops. *)
+     exact bytes of the serial run.  e4/e5 have genuinely parallel inner
+     loops; e7/e16/e17 are the Common.replicates adopters whose trial loops
+     and grids both fan out. *)
   List.iter
     (fun id ->
       check Alcotest.string
         (id ^ " byte-identical at jobs=4")
         (rendered id ~jobs:1) (rendered id ~jobs:4))
-    [ "e4"; "e5" ]
+    [ "e4"; "e5"; "e7"; "e16"; "e17" ]
 
 (* -- JSON emitter -- *)
 
@@ -136,12 +191,17 @@ let () =
           Alcotest.test_case "empty + singleton" `Quick pool_empty;
           Alcotest.test_case "exception propagation" `Quick pool_exception;
           Alcotest.test_case "reusable after failure" `Quick pool_survives_task_failure;
-          Alcotest.test_case "shutdown idempotent" `Quick pool_shutdown ] );
+          Alcotest.test_case "shutdown idempotent" `Quick pool_shutdown;
+          Alcotest.test_case "nested submission" `Quick pool_nested;
+          Alcotest.test_case "nested exception" `Quick pool_nested_exception ] );
       ( "map_ordered",
         [ Alcotest.test_case "matches serial" `Quick map_ordered_matches_serial;
           Alcotest.test_case "serial exception" `Quick map_ordered_serial_exception ] );
+      ( "replicates",
+        [ Alcotest.test_case "ordered trials" `Quick replicates_values;
+          Alcotest.test_case "earliest failure" `Quick replicates_earliest_failure ] );
       ( "determinism",
-        [ Alcotest.test_case "e4/e5 jobs-invariant" `Slow experiment_determinism ] );
+        [ Alcotest.test_case "experiments jobs-invariant" `Slow experiment_determinism ] );
       ( "json",
         [ Alcotest.test_case "escaping" `Quick json_escaping;
           Alcotest.test_case "document" `Quick json_document;

@@ -66,6 +66,71 @@ let xoshiro_jump_disjoint () =
   done;
   check Alcotest.bool "jumped stream does not collide" false !overlap
 
+(* The textbook Int64 formulation of xoshiro256**, seeded exactly like the
+   production generator.  The unboxed half-word implementation must stay
+   bit-identical to this stream forever — every recorded experiment table
+   depends on it. *)
+module Xoshiro_reference = struct
+  type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+  let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+  let create seed =
+    let sm = Splitmix64.create seed in
+    let s0 = Splitmix64.next sm in
+    let s1 = Splitmix64.next sm in
+    let s2 = Splitmix64.next sm in
+    let s3 = Splitmix64.next sm in
+    { s0; s1; s2; s3 }
+
+  let next t =
+    let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+    let tmp = Int64.shift_left t.s1 17 in
+    t.s2 <- Int64.logxor t.s2 t.s0;
+    t.s3 <- Int64.logxor t.s3 t.s1;
+    t.s1 <- Int64.logxor t.s1 t.s2;
+    t.s0 <- Int64.logxor t.s0 t.s3;
+    t.s2 <- Int64.logxor t.s2 tmp;
+    t.s3 <- rotl t.s3 45;
+    result
+end
+
+let xoshiro_matches_reference () =
+  List.iter
+    (fun seed ->
+      let fast = Xoshiro.create seed and slow = Xoshiro_reference.create seed in
+      for i = 1 to 1000 do
+        let expect = Xoshiro_reference.next slow in
+        if not (Int64.equal (Xoshiro.next fast) expect) then
+          Alcotest.failf "seed %Ld: draw %d diverges from the Int64 reference" seed i
+      done)
+    [ 0L; 1L; 42L; -1L; 0x123456789ABCDEFL ]
+
+let xoshiro_reference_qcheck =
+  QCheck.Test.make ~name:"half-word stream equals Int64 reference" ~count:200
+    QCheck.(pair int (int_range 1 64))
+    (fun (seed, draws) ->
+      let seed = Int64.of_int seed in
+      let fast = Xoshiro.create seed and slow = Xoshiro_reference.create seed in
+      let ok = ref true in
+      for _ = 1 to draws do
+        if not (Int64.equal (Xoshiro.next fast) (Xoshiro_reference.next slow)) then
+          ok := false
+      done;
+      !ok)
+
+let xoshiro_step_halves () =
+  (* [step] + [out_hi]/[out_lo] is the allocation-free view of [next]: the
+     halves must reassemble into exactly the boxed draw. *)
+  let a = Xoshiro.create 314L and b = Xoshiro.create 314L in
+  for _ = 1 to 100 do
+    let boxed = Xoshiro.next a in
+    Xoshiro.step b;
+    let hi = Int64.of_int (Xoshiro.out_hi b) and lo = Int64.of_int (Xoshiro.out_lo b) in
+    check Alcotest.int64 "halves reassemble" boxed
+      (Int64.logor (Int64.shift_left hi 32) lo)
+  done
+
 let xoshiro_distribution () =
   (* Coarse uniformity: bucket 64k draws into 16 buckets; each within 20%
      of the expectation.  A systematic bias would blow well past this. *)
@@ -131,6 +196,31 @@ let rng_split_does_not_disturb_split_at () =
     (Rng.bits64 (Rng.split_at p1 3))
     (Rng.bits64 (Rng.split_at p2 3))
 
+let rng_int_matches_reference () =
+  (* Rng.int has a half-word fast path for small bounds and an Int64
+     rejection path for large ones; both must reproduce the historical
+     Int64 rejection sampler draw for draw. *)
+  let reference_int g bound =
+    let bound64 = Int64.of_int bound in
+    let limit = Int64.sub Int64.max_int (Int64.rem Int64.max_int bound64) in
+    let rec draw () =
+      let v = Int64.shift_right_logical (Xoshiro_reference.next g) 1 in
+      if v < limit then Int64.to_int (Int64.rem v bound64) else draw ()
+    in
+    draw ()
+  in
+  List.iter
+    (fun bound ->
+      let g = Rng.create 2718L and r = Xoshiro_reference.create 2718L in
+      for i = 1 to 500 do
+        let expect = reference_int r bound in
+        let got = Rng.int g bound in
+        if got <> expect then
+          Alcotest.failf "bound %d: draw %d gives %d, reference %d" bound i got expect
+      done)
+    (* Fast-path bounds (<= 2^30 - 1), the boundary, and fallback bounds. *)
+    [ 1; 2; 6; 256; 65537; 0x3FFFFFFF; 0x40000000; 0x7FFFFFFFF ]
+
 let rng_int_bounds =
   QCheck.Test.make ~name:"rng int stays in range" ~count:1000
     QCheck.(pair small_int (int_range 1 1_000_000))
@@ -187,8 +277,11 @@ let () =
           qcheck splitmix_next_in_bounds ] );
       ( "xoshiro",
         [ Alcotest.test_case "deterministic" `Quick xoshiro_deterministic;
+          Alcotest.test_case "matches Int64 reference" `Quick xoshiro_matches_reference;
+          Alcotest.test_case "step exposes halves" `Quick xoshiro_step_halves;
           Alcotest.test_case "jump disjoint" `Quick xoshiro_jump_disjoint;
-          Alcotest.test_case "distribution" `Quick xoshiro_distribution ] );
+          Alcotest.test_case "distribution" `Quick xoshiro_distribution;
+          qcheck xoshiro_reference_qcheck ] );
       ( "pcg32",
         [ Alcotest.test_case "deterministic" `Quick pcg_deterministic;
           Alcotest.test_case "streams differ" `Quick pcg_streams_differ;
@@ -198,6 +291,7 @@ let () =
           Alcotest.test_case "split_at stable" `Quick rng_split_at_stable;
           Alcotest.test_case "split_at base-keyed" `Quick rng_split_does_not_disturb_split_at;
           Alcotest.test_case "sample without replacement" `Quick rng_sample_without_replacement;
+          Alcotest.test_case "int matches rejection reference" `Quick rng_int_matches_reference;
           qcheck rng_int_bounds;
           qcheck rng_int_in_bounds;
           qcheck rng_float_range;
