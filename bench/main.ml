@@ -79,18 +79,46 @@ let fame_scaling ~quick =
                   ()))))
     (scaling_ns ~quick)
 
+(* K-scaling families for the bitset graph/game kernel.  [graph/vc-n-scaling]
+   runs the exact minimum-vertex-cover solver on the complete graph K_n with
+   the memo cache disabled, so the branch-and-bound kernel itself is measured
+   rather than a digest lookup ([graph/min-vertex-cover-K8] keeps the cache on
+   and so tracks the end-to-end memoized path).  [game/full-play] plays the
+   starred-edge removal game to completion on K_n; the K8 member is the
+   long-standing [game/full-play-K8] benchmark above.  K in {32, 64} only
+   runs outside quick mode. *)
+let kernel_ks ~quick = if quick then [ 8; 16 ] else [ 8; 16; 32; 64 ]
+
+let vc_scaling ~quick =
+  List.map
+    (fun n ->
+      let g = Rgraph.Digraph.Dense.of_edges ~n (Rgraph.Workload.complete ~n) in
+      Test.make ~name:(Printf.sprintf "graph/vc-n-scaling-K%d" n)
+        (Staged.stage (fun () ->
+             ignore
+               (Cache.with_disabled (fun () -> Rgraph.Vertex_cover.minimum_size_dense g)))))
+    (kernel_ks ~quick)
+
+let game_full_play ~name ~n =
+  let g = Rgraph.Digraph.of_edges (Rgraph.Workload.complete ~n) in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (Game.Runner.play (Game.State.create g ~t:2) Game.Referee.minimal_first)))
+
+let game_scaling ~quick =
+  List.filter_map
+    (fun n ->
+      if n = 8 then None (* covered by game/full-play-K8 *)
+      else Some (game_full_play ~name:(Printf.sprintf "game/full-play-K%d" n) ~n))
+    (kernel_ks ~quick)
+
 let micro_tests ~quick =
   let greedy_move =
     let g = Rgraph.Digraph.of_edges (Rgraph.Workload.complete ~n:10) in
     let st = Game.State.create g ~t:2 in
     Test.make ~name:"game/greedy-proposal" (Staged.stage (fun () -> ignore (Game.Greedy.proposal st)))
   in
-  let game_full =
-    let g = Rgraph.Digraph.of_edges (Rgraph.Workload.complete ~n:8) in
-    Test.make ~name:"game/full-play-K8"
-      (Staged.stage (fun () ->
-           ignore (Game.Runner.play (Game.State.create g ~t:2) Game.Referee.minimal_first)))
-  in
+  let game_full = game_full_play ~name:"game/full-play-K8" ~n:8 in
   let sha_small =
     Test.make ~name:"crypto/sha256-64B"
       (Staged.stage (fun () -> ignore (Crypto.Sha256.digest sha_input_small)))
@@ -168,7 +196,7 @@ let micro_tests ~quick =
   in
   [ prng; sha_small; sha_large; hmac; hmac_keyed; dh; seal; vc; greedy_move; game_full;
     engine_round; fame_small; engine_small; engine_2t2; prf_naive; prf_keyed ]
-  @ engine_scaling ~quick @ fame_scaling ~quick
+  @ vc_scaling ~quick @ game_scaling ~quick @ engine_scaling ~quick @ fame_scaling ~quick
 
 type micro_row = {
   bench_name : string;

@@ -1,6 +1,17 @@
 (* Compare two radio-bench/v1 documents (see bench/main.ml --bench-json).
 
-   Usage: bench_compare [--timing-tolerance PCT] BASELINE.json CURRENT.json
+   Usage: bench_compare [OPTIONS] BASELINE.json CURRENT.json
+
+   Options (flags and positionals may be interleaved):
+     --timing-tolerance PCT    flag micro-benchmarks slower by more than PCT%
+     --require-bench PREFIXES  comma-separated name prefixes; each must match
+                               at least one micro row of CURRENT (coverage
+                               gate: a family silently dropped from the suite
+                               exits nonzero)
+     --append-history PATH     append a dated radio-bench-history/v1 entry
+                               summarizing CURRENT (and its speedup vs
+                               BASELINE) to the JSON history file at PATH,
+                               creating it if absent
 
    Determinism fields (per-experiment total_rounds and output_sha256, and
    sha-consistency across any --jobs-sweep rows) are a hard gate: any
@@ -44,19 +55,120 @@ let assoc_rows ~key_field items =
     (fun row -> Option.map (fun k -> (k, row)) (str_field key_field row))
     items
 
+(* -- benchmark history (radio-bench-history/v1) --
+
+   A history file is an append-only JSON document:
+     { "schema": "radio-bench-history/v1", "entries": [ ... ] }
+   Each entry snapshots one bench_compare run: a UTC timestamp, the two
+   document paths, whether the determinism gate passed, and per-micro
+   timing/allocation medians from CURRENT with the speedup against
+   BASELINE.  Timing history is observability data, never a gate — the
+   trend across entries is what a human reads (see README). *)
+
+let history_schema = "radio-bench-history/v1"
+
+let load_history path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let doc = load path in
+    (match Option.bind (Json.member "schema" doc) Json.to_string_opt with
+     | Some s when s = history_schema -> ()
+     | Some other -> die "%s: unsupported history schema %S (want %s)" path other history_schema
+     | None -> die "%s: missing schema field" path);
+    match Option.bind (Json.member "entries" doc) Json.to_list with
+    | Some entries -> entries
+    | None -> []
+  end
+
+let history_entry ~baseline_path ~current_path ~current ~base_micro ~cur_micro
+    ~determinism_ok =
+  let micro =
+    List.map
+      (fun (name, cur_row) ->
+        let speedup =
+          match
+            ( Option.bind (List.assoc_opt name base_micro) (float_field "ns_per_run"),
+              float_field "ns_per_run" cur_row )
+          with
+          | Some b, Some c when b > 0.0 && c > 0.0 -> Json.Float (b /. c)
+          | _ -> Json.Null
+        in
+        Json.Obj
+          [ ("name", Json.String name);
+            ( "ns_per_run",
+              match float_field "ns_per_run" cur_row with
+              | Some v -> Json.Float v
+              | None -> Json.Null );
+            ( "minor_words_per_run",
+              match float_field "minor_words_per_run" cur_row with
+              | Some v -> Json.Float v
+              | None -> Json.Null );
+            ("speedup_vs_baseline", speedup) ])
+      cur_micro
+  in
+  Json.Obj
+    [ ("recorded_utc", Json.String (Parallel.Clock.utc_iso8601 ()));
+      ("baseline", Json.String baseline_path);
+      ("current", Json.String current_path);
+      ( "quick",
+        match Option.bind (Json.member "quick" current) Json.to_bool_opt with
+        | Some b -> Json.Bool b
+        | None -> Json.Null );
+      ("determinism_ok", Json.Bool determinism_ok);
+      ("micro", Json.List micro) ]
+
+let append_history ~path entry =
+  let entries = load_history path @ [ entry ] in
+  let doc =
+    Json.Obj [ ("schema", Json.String history_schema); ("entries", Json.List entries) ]
+  in
+  let oc = try open_out path with Sys_error msg -> die "cannot write %s: %s" path msg in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string doc);
+      output_char oc '\n');
+  Printf.printf "history: appended entry %d to %s\n" (List.length entries) path
+
+type cli = {
+  tolerance : float option;
+  require_bench : string list;
+  history : string option;
+  paths : string list;
+}
+
 let () =
   let usage () =
-    prerr_endline "usage: bench_compare [--timing-tolerance PCT] BASELINE.json CURRENT.json";
+    prerr_endline
+      "usage: bench_compare [--timing-tolerance PCT] [--require-bench PREFIXES] \
+       [--append-history PATH] BASELINE.json CURRENT.json";
     exit 2
   in
-  let tolerance, baseline_path, current_path =
-    match Array.to_list Sys.argv with
-    | [ _; b; c ] -> (None, b, c)
-    | [ _; "--timing-tolerance"; pct; b; c ] -> (
+  let rec parse acc = function
+    | [] -> acc
+    | "--timing-tolerance" :: pct :: rest -> (
       match float_of_string_opt pct with
-      | Some p when p >= 0.0 -> (Some p, b, c)
+      | Some p when p >= 0.0 -> parse { acc with tolerance = Some p } rest
       | _ -> usage ())
-    | _ -> usage ()
+    | "--require-bench" :: spec :: rest -> (
+      let prefixes =
+        List.filter (fun s -> s <> "") (List.map String.trim (String.split_on_char ',' spec))
+      in
+      match prefixes with
+      | [] -> usage ()
+      | _ -> parse { acc with require_bench = acc.require_bench @ prefixes } rest)
+    | "--append-history" :: path :: rest -> parse { acc with history = Some path } rest
+    | flag :: _ when String.length flag > 2 && String.sub flag 0 2 = "--" -> usage ()
+    | path :: rest -> parse { acc with paths = acc.paths @ [ path ] } rest
+  in
+  let cli =
+    parse
+      { tolerance = None; require_bench = []; history = None; paths = [] }
+      (List.tl (Array.to_list Sys.argv))
+  in
+  let tolerance = cli.tolerance in
+  let baseline_path, current_path =
+    match cli.paths with [ b; c ] -> (b, c) | _ -> usage ()
   in
   let baseline = load baseline_path and current = load current_path in
   check_schema baseline_path baseline;
@@ -130,8 +242,34 @@ let () =
           (List.length regressions) pct;
         List.iter (fun (name, d) -> Printf.printf "  SLOW %-32s +%.1f%%\n" name d) regressions;
         print_endline "  (informational only: timing never affects the exit status)"));
-  if !drift > 0 then begin
+  (* -- coverage gate: every --require-bench prefix must match a micro row of
+     CURRENT.  This catches a benchmark family silently dropped from the
+     suite, which a pure diff-against-baseline would report as "gone" without
+     failing. -- *)
+  let missing_families =
+    List.filter
+      (fun prefix ->
+        not (List.exists (fun (name, _) -> String.starts_with ~prefix name) cur_micro))
+      cli.require_bench
+  in
+  List.iter
+    (fun p ->
+      Printf.printf "MISSING no micro-benchmark in %s matches prefix %S\n" current_path p)
+    missing_families;
+  let determinism_ok = !drift = 0 in
+  (match cli.history with
+   | Some path ->
+     append_history ~path
+       (history_entry ~baseline_path ~current_path ~current ~base_micro ~cur_micro
+          ~determinism_ok)
+   | None -> ());
+  if not determinism_ok then begin
     Printf.printf "\n%d determinism drift(s): simulated output changed.\n" !drift;
     exit 1
-  end
-  else print_endline "\ndeterminism: OK (simulated outputs byte-identical to baseline)"
+  end;
+  if missing_families <> [] then begin
+    Printf.printf "\n%d required benchmark famil(ies) missing from %s.\n"
+      (List.length missing_families) current_path;
+    exit 1
+  end;
+  print_endline "\ndeterminism: OK (simulated outputs byte-identical to baseline)"

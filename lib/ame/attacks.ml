@@ -23,7 +23,11 @@ let schedule_jammer board ~channels ~budget ~prefer =
             | Any, _ -> 0
           in
           let ranked =
-            List.sort (fun a b -> compare (score a, fst a) (score b, fst b)) entry.Oracle.kinds
+            List.sort
+              (fun a b ->
+                let c = Int.compare (score a) (score b) in
+                if c <> 0 then c else Int.compare (fst a) (fst b))
+              entry.Oracle.kinds
           in
           take budget (List.map (fun (chan, _) -> jam chan) ranked));
     observe = (fun _ -> ()); observes = false }

@@ -6,10 +6,10 @@ type calendar = {
 let log2 x = log x /. log 2.0
 
 let out_edges_of pairs v =
-  List.sort compare (List.filter_map (fun (x, w) -> if x = v then Some w else None) pairs)
+  List.sort Int.compare (List.filter_map (fun (x, w) -> if x = v then Some w else None) pairs)
 
 let owners_of pairs =
-  List.sort_uniq compare (List.map fst pairs)
+  List.sort_uniq Int.compare (List.map fst pairs)
 
 let make_calendar ?(gossip_beta = 3.0) ~pairs ~budget ~n () =
   let t1 = float_of_int (budget + 1) in
@@ -184,9 +184,15 @@ let run ?(ame_params = Params.default) ?gossip_beta ?(candidate_cap = 256) ~cfg 
           None)
       fame.Fame.delivered
   in
-  let delivered = List.sort compare delivered in
+  let delivered =
+    List.sort
+      (fun (p, x) (q, y) ->
+        let c = Rgraph.Digraph.edge_compare p q in
+        if c <> 0 then c else String.compare x y)
+      delivered
+  in
   let failed =
-    List.sort compare
+    List.sort Rgraph.Digraph.edge_compare
       (List.filter (fun pair -> not (List.mem_assoc pair delivered)) pairs)
   in
   { gossip_engine; fame; delivered; failed;

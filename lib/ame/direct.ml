@@ -95,11 +95,12 @@ let run ?(ame_params = Params.default) ?channels_used ~cfg ~pairs ~messages ~adv
   let engine = Radio.Engine.run cfg ~adversary:(adversary board) (Array.make n node_body) in
   let delivered = Det.bindings delivered_cells in
   let failed =
-    List.sort compare (List.filter (fun pair -> not (Hashtbl.mem delivered_cells pair)) pairs)
+    List.sort Rgraph.Digraph.edge_compare
+      (List.filter (fun pair -> not (Hashtbl.mem delivered_cells pair)) pairs)
   in
   let disruption_vc =
     if List.length failed <= 64 then
-      Some (Rgraph.Vertex_cover.minimum_size (Rgraph.Digraph.of_edges failed))
+      Some (Rgraph.Vertex_cover.minimum_size_dense (Rgraph.Digraph.Dense.of_edges failed))
     else None
   in
   { engine; delivered; failed; disruption_vc; diverged = !diverged; moves = !moves_counter }

@@ -46,12 +46,14 @@ let run ?(ame_params = Params.default) ?channels_used ?(feedback_mode = Sequenti
          (Params.nodes_required ame_params ~channels_used ~budget ~channels));
   let sequential_reps = Params.feedback_reps ame_params ~channels ~budget ~n in
   let tree_reps = Params.tree_reps ame_params ~n in
-  let graph = Rgraph.Digraph.of_edges pairs in
   List.iter
     (fun (v, w) ->
       if v < 0 || v >= n || w < 0 || w >= n then invalid_arg "Fame.run: pair out of range";
       ignore (v, w))
     pairs;
+  (* Dense over the inferred endpoint range (not all of 0..n-1): game
+     bitsets stay as wide as the exchange actually is. *)
+  let graph = Rgraph.Digraph.Dense.of_edges pairs in
   let vector_for = Option.value vector_for ~default:(default_vector ~messages ~pairs) in
   (* Shared (runner-side) result cells; node fibers write, runner reads. *)
   let board = Oracle.create () in
@@ -64,7 +66,7 @@ let run ?(ame_params = Params.default) ?channels_used ?(feedback_mode = Sequenti
      build it once instead of n times (its universe set is the costly
      part). *)
   let initial_state =
-    Game.State.create ~proposal_size:channels_used ~min_proposal:(budget + 1) graph
+    Game.State.create_dense ~proposal_size:channels_used ~min_proposal:(budget + 1) graph
       ~t:budget
   in
   let node_body (ctx : Radio.Engine.ctx) =
@@ -187,7 +189,8 @@ let run ?(ame_params = Params.default) ?channels_used ?(feedback_mode = Sequenti
         Buffer.add_string buf (string_of_int v);
         Buffer.add_char buf '-';
         Buffer.add_string buf (string_of_int w))
-      (List.sort compare (Rgraph.Digraph.edges final.Game.State.graph));
+      (* Dense.edges is already in ascending lexicographic order. *)
+      (Rgraph.Digraph.Dense.edges final.Game.State.graph);
     Buffer.add_char buf '|';
     List.iteri
       (fun i v ->
@@ -202,12 +205,12 @@ let run ?(ame_params = Params.default) ?channels_used ?(feedback_mode = Sequenti
   let delivered = Det.bindings delivered_cells in
   let confirmed = Det.keys confirmed_cells in
   let failed =
-    List.sort compare
+    List.sort Rgraph.Digraph.edge_compare
       (List.filter (fun pair -> not (Hashtbl.mem delivered_cells pair)) pairs)
   in
   let disruption_vc =
     if List.length failed <= 64 then
-      Some (Rgraph.Vertex_cover.minimum_size (Rgraph.Digraph.of_edges failed))
+      Some (Rgraph.Vertex_cover.minimum_size_dense (Rgraph.Digraph.Dense.of_edges failed))
     else None
   in
   { engine; delivered; confirmed; failed; disruption_vc; diverged = !diverged;

@@ -31,7 +31,7 @@ let run_list ~my_id ~rng ~channels ~reps ~witnesses ~my_flag =
         | Some _ | None -> ()
       done
   done;
-  List.sort compare !d
+  List.sort Int.compare !d
 
 let run ~my_id ~rng ~channels ~reps ~witnesses ~my_flag =
   let k = Array.length witnesses in

@@ -61,7 +61,7 @@ let run ~rounds ~cfg ~pairs ~messages ~adversary () =
         match Hashtbl.find_opt first_claim pair with
         | None -> (pair, Nothing)
         | Some body -> (pair, if body = messages pair then Genuine else Fooled))
-      (List.sort compare pairs)
+      (List.sort Rgraph.Digraph.edge_compare pairs)
   in
   let count v = List.length (List.filter (fun (_, x) -> x = v) verdicts) in
   { engine; verdicts; fooled = count Fooled; genuine = count Genuine; nothing = count Nothing }

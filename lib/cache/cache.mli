@@ -1,0 +1,68 @@
+(** Deterministic, pool-safe memoization keyed on canonical digests.
+
+    A ['v t] memoizes a {e pure} function [key -> 'v]: callers must
+    guarantee that every computation stored under a key would return the
+    same value if re-run.  Under that contract a cache hit is
+    indistinguishable from a fresh solve, so memoized paths stay
+    byte-identical across [--jobs] counts and across cache on/off — the
+    invariant the experiment-determinism gates check.
+
+    Storage is domain-local ([Domain.DLS]): the main domain and every
+    [Parallel.Pool] worker hold independent tables, so no locks are taken
+    and workers never contend or interleave.  Repeated queries hit within
+    the domain that first solved them; a query duplicated across domains
+    re-solves at most once per domain.  Hit/miss totals are aggregated
+    across domains with [Atomic] counters (observability only). *)
+
+type 'v t
+
+type stats = { hits : int; misses : int }
+
+val create : ?capacity:int -> string -> 'v t
+(** [create name] makes a named memo.  [capacity] (default [65536])
+    bounds each domain-local table; on overflow the table is dropped
+    wholesale — the cheapest policy whose effect on results is provably
+    none (only future re-solves change).  Raises [Invalid_argument] on a
+    non-positive capacity. *)
+
+val find_or_compute : 'v t -> key:string -> (unit -> 'v) -> 'v
+(** [find_or_compute t ~key f] returns the cached value for [key] in the
+    calling domain's table, or runs [f], stores, and returns the result.
+    When the global switch is off (see {!set_enabled}) it always runs [f]
+    and stores nothing. *)
+
+val name : 'v t -> string
+
+val clear : 'v t -> unit
+(** Drops the {e calling domain's} table.  Other domains' tables are
+    untouched (they are unreachable by design). *)
+
+val stats : 'v t -> stats
+(** Cumulative hit/miss totals across all domains. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Global switch shared by every memo (reads are a single [Atomic.get]).
+    Intended for tests and A/B measurement; flipping it never changes any
+    memoized result, only whether solves repeat. *)
+
+val with_disabled : (unit -> 'a) -> 'a
+(** [with_disabled f] runs [f] with the switch off, restoring the
+    previous state afterwards (even on exceptions). *)
+
+(** Canonical digest keys: append ints, get a 16-byte key string built
+    from two independent 63-bit mixing lanes.  Deterministic across runs,
+    domains, and hosts; collision odds are negligible (~2^-126 per
+    pair). *)
+module Key : sig
+  type builder
+
+  val create : unit -> builder
+
+  val add_int : builder -> int -> unit
+
+  val finish : builder -> string
+
+  val of_ints : int list -> string
+end

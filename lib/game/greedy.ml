@@ -1,37 +1,74 @@
-module Int_set = Set.Make (Int)
+(* The greedy player of Section 5.2, on the dense bitset graph.
 
-let p1 (st : State.t) =
-  List.filter (fun v -> not (State.is_starred st v)) (Rgraph.Digraph.sources st.graph)
+   P1 is the set of unstarred sources; P2 is the set of edges touching no
+   P1 node (their sources are therefore starred).  Both are enumerated in
+   ascending order straight off the bitset rows — the same order the
+   sorted-list implementation produced — so proposals, and hence whole
+   game transcripts, are unchanged. *)
+
+let p1_bits (st : State.t) =
+  let g = st.State.graph in
+  let n = Rgraph.Digraph.Dense.universe g in
+  let bits = Rgraph.Bitset.create n in
+  for v = 0 to n - 1 do
+    if Rgraph.Digraph.Dense.has_outgoing g v && not (State.is_starred st v) then
+      Rgraph.Bitset.set bits v
+  done;
+  bits
+
+let p1 (st : State.t) = Rgraph.Bitset.to_list (p1_bits st)
 
 let p2 (st : State.t) =
-  let p1_set = Int_set.of_list (p1 st) in
-  List.filter
-    (fun (v, w) -> (not (Int_set.mem v p1_set)) && not (Int_set.mem w p1_set))
-    (Rgraph.Digraph.edges st.graph)
-
-let rec take_nodes k = function
-  | v :: tl when k > 0 -> State.Node v :: take_nodes (k - 1) tl
-  | _ -> []
+  let g = st.State.graph in
+  let p1b = p1_bits st in
+  let acc = ref [] in
+  Rgraph.Digraph.Dense.iter_edges
+    (fun (v, w) ->
+      if (not (Rgraph.Bitset.mem p1b v)) && not (Rgraph.Bitset.mem p1b w) then
+        acc := (v, w) :: !acc)
+    g;
+  List.rev !acc
 
 let proposal (st : State.t) =
-  let max_size = st.max_proposal in
-  let nodes = p1 st in
-  let node_items = take_nodes max_size nodes in
-  let missing = max_size - List.length node_items in
+  let g = st.State.graph in
+  let max_size = st.State.max_proposal in
+  let p1b = p1_bits st in
+  (* Up to [max_size] P1 nodes, ascending. *)
+  let node_items = ref [] and taken = ref 0 in
+  (try
+     Rgraph.Bitset.iter
+       (fun v ->
+         if !taken >= max_size then raise Exit;
+         node_items := State.Node v :: !node_items;
+         incr taken)
+       p1b
+   with Exit -> ());
+  let node_items = List.rev !node_items in
+  let missing = max_size - !taken in
   let items =
     if missing = 0 then node_items
     else begin
-      (* Destination-disjoint edges from P2, in sorted order.  P2 edges touch
-         no P1 node and their sources are starred, so the combined proposal
-         satisfies Restrictions 2-4 by construction. *)
-      let edges, _ =
-        List.fold_left
-          (fun (acc, used_dests) ((_, w) as e) ->
-            if List.length acc >= missing || Int_set.mem w used_dests then (acc, used_dests)
-            else (e :: acc, Int_set.add w used_dests))
-          ([], Int_set.empty) (p2 st)
-      in
-      node_items @ List.map (fun e -> State.Edge e) (List.rev edges)
+      (* Destination-disjoint edges from P2, in ascending edge order.  P2
+         edges touch no P1 node and their sources are starred, so the
+         combined proposal satisfies Restrictions 2-4 by construction. *)
+      let used_dests = Rgraph.Bitset.create (Rgraph.Digraph.Dense.universe g) in
+      let edges = ref [] and found = ref 0 in
+      (try
+         Rgraph.Digraph.Dense.iter_edges
+           (fun (v, w) ->
+             if !found >= missing then raise Exit;
+             if
+               (not (Rgraph.Bitset.mem p1b v))
+               && (not (Rgraph.Bitset.mem p1b w))
+               && not (Rgraph.Bitset.mem used_dests w)
+             then begin
+               Rgraph.Bitset.set used_dests w;
+               edges := State.Edge (v, w) :: !edges;
+               incr found
+             end)
+           g
+       with Exit -> ());
+      node_items @ List.rev !edges
     end
   in
-  if List.length items < st.min_proposal then None else Some items
+  if List.length items < st.State.min_proposal then None else Some items

@@ -12,10 +12,11 @@ let subset_of response proposal =
   List.for_all (fun item -> List.exists (fun p -> State.item_compare item p = 0) proposal) response
 
 let play ?max_moves st (referee : Referee.t) =
-  let initial_edges = Rgraph.Digraph.edge_count st.State.graph in
+  let initial_edges = Rgraph.Digraph.Dense.edge_count st.State.graph in
   let limit =
     Option.value max_moves
-      ~default:((10 * initial_edges) + (10 * List.length (Rgraph.Digraph.vertices st.State.graph)) + 10)
+      ~default:
+        ((10 * initial_edges) + (10 * Rgraph.Digraph.Dense.vertex_count st.State.graph) + 10)
   in
   let rec loop st moves =
     if moves > limit then raise (Rule_violation "game exceeded move limit: non-termination bug");
@@ -34,6 +35,6 @@ let play ?max_moves st (referee : Referee.t) =
   let final, moves = loop st 0 in
   { moves;
     stars = List.length final.State.starred;
-    edges_removed = initial_edges - Rgraph.Digraph.edge_count final.State.graph;
+    edges_removed = initial_edges - Rgraph.Digraph.Dense.edge_count final.State.graph;
     final;
     won = State.won final }

@@ -7,18 +7,24 @@
 
     [proposal_size] is t+1 in the base game; the C >= 2t optimization of
     Section 5.5 plays the same game with larger proposals and a referee
-    forced to return at least [proposal_size - t] items. *)
+    forced to return at least [proposal_size - t] items.
+
+    The graph lives in the dense bitset representation
+    ({!Rgraph.Digraph.Dense}): membership tests during proposal validation
+    are O(1), the win check hits the memoized vertex-cover solver, and
+    [apply] copies only the two adjacency rows an edge removal touches. *)
 
 type item = Node of int | Edge of (int * int)
 
 type t = private {
-  graph : Rgraph.Digraph.t;
+  graph : Rgraph.Digraph.Dense.t;
   starred : int list;  (** sorted *)
+  starred_bits : Rgraph.Bitset.t;  (** same set as [starred], O(1) member *)
   budget : int;  (** the game's t *)
   min_proposal : int;  (** smallest legal proposal; t+1 in every regime *)
   max_proposal : int;  (** largest legal proposal; t+1 in the base game,
                            the number of used channels in the wider regimes *)
-  universe : Set.Make(Int).t;  (** V, fixed at game creation *)
+  universe : Rgraph.Bitset.t;  (** V, fixed at game creation *)
 }
 
 val create : ?proposal_size:int -> ?min_proposal:int -> Rgraph.Digraph.t -> t:int -> t
@@ -30,7 +36,12 @@ val create : ?proposal_size:int -> ?min_proposal:int -> Rgraph.Digraph.t -> t:in
     still make progress (any proposal larger than t beats the adversary's
     budget). *)
 
+val create_dense :
+  ?proposal_size:int -> ?min_proposal:int -> Rgraph.Digraph.Dense.t -> t:int -> t
+(** Like {!create} on an already-dense graph (no conversion). *)
+
 val is_starred : t -> int -> bool
+(** O(1). *)
 
 val check_proposal : t -> item list -> (unit, string) result
 (** Validates Restrictions 1-4:
@@ -47,7 +58,7 @@ val apply : t -> item list -> t
     re-validated here). *)
 
 val won : t -> bool
-(** Vertex cover of the remaining graph is at most [budget]. *)
+(** Vertex cover of the remaining graph is at most [budget] (memoized). *)
 
 val item_compare : item -> item -> int
 (** Total order used for deterministic proposal construction. *)

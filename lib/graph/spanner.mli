@@ -13,7 +13,15 @@ val pairs : n:int -> t:int -> (int * int) list
 
 val graph : n:int -> t:int -> Digraph.t
 
+val dense : n:int -> t:int -> Digraph.Dense.t
+(** The same spanner in the bitset representation (universe [0..n-1]). *)
+
 val survives_removal : n:int -> t:int -> removed:int list -> bool
 (** After deleting [removed] (any set of at most t nodes), is the undirected
-    spanner on the remaining nodes connected?  Used by tests to validate the
-    (t+1)-connectivity claim by exhaustive/sampled removal. *)
+    spanner on the remaining nodes connected?  Bitset BFS over the dense
+    spanner; used by tests to validate the (t+1)-connectivity claim by
+    exhaustive/sampled removal. *)
+
+val connected_after : Digraph.Dense.t -> alive:Bitset.t -> bool
+(** Is the undirected restriction of the graph to [alive] connected?
+    (Vacuously true when [alive] is empty.) *)

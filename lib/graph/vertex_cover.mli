@@ -1,25 +1,65 @@
-(** Vertex covers of (the undirected view of) a directed graph.
+(** Exact minimum vertex cover on the undirected view of a digraph.
 
-    Disruptability (Definition 1, property 3) is stated as a bound on the
-    minimum vertex cover of the disruption graph, so the experiments need an
-    exact solver: {!minimum} is a branch-and-bound search, exponential in the
-    worst case but fast at the disruption-graph sizes we measure (covers of
-    size <= 2t).  {!greedy_2approx} (maximal matching) is provided for larger
-    graphs and as a cross-check upper bound. *)
+    The referee's win condition ([Game.State.won]) and the f-AME
+    disruptability check both reduce to "does the failure graph admit a
+    vertex cover of size <= budget?", so this solver sits on the hot path
+    of every game move and every adversary evaluation.
 
-val is_cover : Digraph.t -> int list -> bool
-(** Does the node set touch every edge? *)
+    {2 Algorithm and complexity contract}
+
+    The solver is a kernelized FPT branch-and-bound:
+
+    - {b kernelization} (per search node, O(n·w) with w = words per
+      bitset row): vertices of degree > k are forced into the cover;
+      degree-1 vertices are folded by taking their unique neighbor;
+      repeated to fixpoint;
+    - {b pruning}: a node is abandoned when [m > k * max_degree]
+      (k vertices cover at most [k * max_degree] edges) or when a greedy
+      maximal matching exceeds k (each matched edge needs its own cover
+      vertex);
+    - {b branching} on a maximum-degree vertex v: either v joins the
+      cover (k-1 left) or all of N(v) does (k - deg v left), giving the
+      textbook O(1.47^k · poly(n)) bound, far below it in practice on the
+      sparse failure graphs the game produces.
+
+    [at_most g k] therefore runs in O(1.47^k · n·w) worst case and O(n·w)
+    when the [m > k * max_degree] early-exit fires — the common case for
+    over-budget dense rounds.  [minimum] iteratively deepens k starting
+    from the matching lower bound, so it never explores budgets below the
+    provable optimum.
+
+    {2 Memoization}
+
+    The [_dense] entry points memoize on {!Digraph.Dense.undirected_key}
+    in a pool-safe {!Cache}: repeated queries on the same position — across
+    game replays, replicate trials, bench iterations, and [Parallel.Pool]
+    workers — hit instead of re-solving.  The solver is a pure function of
+    the graph, so cached answers are byte-identical to fresh ones and the
+    cache never perturbs deterministic transcripts. *)
+
+val at_most : Digraph.t -> int -> bool
+(** [at_most g k]: does [g] (viewed undirected) have a vertex cover of
+    size at most [k]?  Edge-set entry point; converts to {!Digraph.Dense}
+    and defers to [at_most_dense]. *)
 
 val minimum : Digraph.t -> int list
-(** An exact minimum vertex cover (sorted).  Exponential-time in general;
-    intended for graphs whose cover is small. *)
+(** A minimum vertex cover, sorted ascending.  Deterministic: equal
+    graphs always yield the identical cover. *)
 
 val minimum_size : Digraph.t -> int
 
-val greedy_2approx : Digraph.t -> int list
-(** Cover from a maximal matching: at most twice the optimum. *)
+val is_cover : Digraph.t -> int list -> bool
 
-val at_most : Digraph.t -> int -> bool
-(** [at_most g k]: is there a vertex cover of size <= k?  Decides directly
-    with the bounded search (cheaper than computing {!minimum} when the
-    answer is no). *)
+val greedy_2approx : Digraph.t -> int list
+(** Endpoints of a greedy maximal matching (first-vertex order): a cover
+    of size at most twice the optimum, in O(n·w) time. *)
+
+val at_most_dense : Digraph.Dense.t -> int -> bool
+(** Memoized dense entry point used by the game kernel. *)
+
+val minimum_dense : Digraph.Dense.t -> int list
+
+val minimum_size_dense : Digraph.Dense.t -> int
+
+val cache_stats : unit -> (string * Cache.stats) list
+(** Hit/miss totals of the two memo caches, for benchmarks and tests. *)

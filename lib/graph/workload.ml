@@ -24,7 +24,7 @@ let random_pairs rng ~n ~count =
   let module S = Set.Make (struct
     type t = int * int
 
-    let compare = compare
+    let compare = Digraph.edge_compare
   end) in
   let rec fill acc =
     if S.cardinal acc = count then S.elements acc
@@ -39,6 +39,6 @@ let bidirectional pairs =
   let module S = Set.Make (struct
     type t = int * int
 
-    let compare = compare
+    let compare = Digraph.edge_compare
   end) in
   S.elements (List.fold_left (fun acc (v, w) -> S.add (v, w) (S.add (w, v) acc)) S.empty pairs)

@@ -4,6 +4,10 @@ type outcome = {
   group_key : string option array;
 }
 
+(* (leader id, key) order: id first, then key bytes. *)
+let keyed_compare (a, x) (b, y) =
+  if a <> b then Int.compare a b else String.compare x y
+
 let run ~cfg ~pairwise ~proposals ~complete_leaders ~excluded ~part2_reps ~part3_reps
     ~adversary () =
   let n = cfg.Radio.Config.n in
@@ -78,7 +82,7 @@ let run ~cfg ~pairwise ~proposals ~complete_leaders ~excluded ~part2_reps ~part3
     List.iter
       (fun i ->
         let my_smallest =
-          match List.sort compare !my_leader_keys with (j, _) :: _ -> Some j | [] -> None
+          match List.sort keyed_compare !my_leader_keys with (j, _) :: _ -> Some j | [] -> None
         in
         (* The report is identical for every repetition of the epoch: hash
            the key once. *)
@@ -106,7 +110,7 @@ let run ~cfg ~pairwise ~proposals ~complete_leaders ~excluded ~part2_reps ~part3
           end
         done)
       reporter_ids;
-    leader_keys_out.(id) <- List.sort compare !my_leader_keys;
+    leader_keys_out.(id) <- List.sort keyed_compare !my_leader_keys;
     reports_out.(id) <- !my_reports
   in
   let engine = Radio.Engine.run cfg ~adversary (Array.make n node_body) in
@@ -119,7 +123,7 @@ let run ~cfg ~pairwise ~proposals ~complete_leaders ~excluded ~part2_reps ~part3
       | Some k ->
         let h = Crypto.Sha256.digest k in
         List.length
-          (List.sort_uniq compare
+          (List.sort_uniq Int.compare
              (List.filter_map
                 (fun (reporter, leader, key_hash) ->
                   if leader = j && key_hash = h then Some reporter else None)

@@ -66,7 +66,13 @@ let run ?(ame_params = Ame.Params.default) ?dh_params ?(part2_beta = 4.0) ?(part
           pairwise.(v) <- (w, key) :: pairwise.(v)
         | Some _ | None -> ())
     fame.Ame.Fame.delivered;
-  Array.iteri (fun v lst -> pairwise.(v) <- List.sort compare lst) pairwise;
+  Array.iteri
+    (fun v lst ->
+      pairwise.(v) <-
+        List.sort
+          (fun (a, x) (b, y) -> if a <> b then Int.compare a b else String.compare x y)
+          lst)
+    pairwise;
   let complete_leaders =
     List.filter (fun v -> List.length pairwise.(v) >= n - 1 - t) leaders
   in

@@ -72,6 +72,7 @@ let ident_rule path =
   | [ ("Mutex" | "Condition" | "Semaphore"); "create" ]
   | [ "Semaphore"; ("Counting" | "Binary"); "make" ] ->
     Some "nondet-domain"
+  | [ "compare" ] -> Some "nondet-poly-compare"
   | [ ("List" | "ListLabels"); ("hd" | "nth") ] -> Some "partial-list"
   | [ "Option"; "get" ] -> Some "partial-option-get"
   | [ ("Array" | "ArrayLabels" | "Bytes" | "BytesLabels"); f ] when is_unsafe_accessor f ->

@@ -44,6 +44,11 @@ let all =
       summary =
         "raw Domain/Mutex/Condition primitives schedule nondeterministically; go through \
          Parallel (lib/parallel owns the domain budget and the ordered merge)" };
+    { id = "nondet-poly-compare";
+      family = Nondet;
+      summary =
+        "polymorphic compare walks runtime representations (slow, and a trap on functional \
+         or abstract values); use Int.compare/String.compare or a typed comparator" };
     { id = "partial-list";
       family = Partiality;
       summary = "List.hd/List.nth can raise; match or use nth_opt with a total fallback" };

@@ -93,7 +93,18 @@ let reactive_jammer rng ~channels ~budget =
           Array.to_list
             (Array.mapi (fun chan hits -> (hits, Prng.Rng.int rng 1_000_000, chan)) last_traffic)
         in
-        let ranked = List.sort (fun a b -> compare b a) keyed in
+        let ranked =
+          List.sort
+            (fun (h1, r1, c1) (h2, r2, c2) ->
+              (* Descending (hits, tiebreak, chan): b-vs-a of the old
+                 polymorphic sort, spelled out monomorphically. *)
+              let c = Int.compare h2 h1 in
+              if c <> 0 then c
+              else
+                let c = Int.compare r2 r1 in
+                if c <> 0 then c else Int.compare c2 c1)
+            keyed
+        in
         List.filteri (fun i _ -> i < budget) ranked
         |> List.map (fun (_, _, chan) -> { chan; spoof = None }));
     observe =

@@ -16,7 +16,7 @@ let check_record ~channels ~budget (r : Transcript.round_record) =
   if List.length r.Transcript.strikes > budget then
     flag (Printf.sprintf "%d strikes exceed budget %d" (List.length r.Transcript.strikes) budget);
   let strike_channels = List.map fst r.Transcript.strikes in
-  if List.length (List.sort_uniq compare strike_channels) <> List.length strike_channels then
+  if List.length (List.sort_uniq Int.compare strike_channels) <> List.length strike_channels then
     flag "duplicate strike channels";
   List.iter
     (fun c -> if c < 0 || c >= channels then flag ~channel:c "strike outside channel range")
@@ -26,7 +26,7 @@ let check_record ~channels ~budget (r : Transcript.round_record) =
     List.map (fun (v, _, _) -> v) r.Transcript.honest_tx
     @ List.map fst r.Transcript.listeners
   in
-  if List.length (List.sort_uniq compare actors) <> List.length actors then
+  if List.length (List.sort_uniq Int.compare actors) <> List.length actors then
     flag "a node performed two actions in one round";
   (* Outcome reconstruction per channel. *)
   Array.iteri

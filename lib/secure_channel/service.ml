@@ -124,7 +124,7 @@ let run_workload ~cfg ~key_holders ~spec ~sends ~adversary () =
     List.map
       (fun (er, sender, msg) ->
         let received_by =
-          List.sort compare
+          List.sort Int.compare
             (Array.to_list
                (Array.mapi
                   (fun id recs ->
@@ -135,7 +135,14 @@ let run_workload ~cfg ~key_holders ~spec ~sends ~adversary () =
              |> List.filter (fun id -> id >= 0 && id <> sender))
         in
         { emulated_round = er; sender; message = msg; received_by })
-      (List.sort compare sends)
+      (List.sort
+         (fun (r1, s1, m1) (r2, s2, m2) ->
+           let c = Int.compare r1 r2 in
+           if c <> 0 then c
+           else
+             let c = Int.compare s1 s2 in
+             if c <> 0 then c else String.compare m1 m2)
+         sends)
   in
   let forged_accepts =
     Array.fold_left

@@ -130,7 +130,7 @@ let run_workload ~cfg ~key_holders ~spec ~mtu ~sends ~adversary () =
     List.map
       (fun (msg_id, sender, message, _) ->
         let completed_by =
-          List.sort compare
+          List.sort Int.compare
             (List.filter
                (fun id ->
                  id <> sender

@@ -126,7 +126,11 @@ let run_streams ~cfg ~keys ~streams ~adversary () =
     List.map
       (fun s ->
         let cell = Hashtbl.find received_cells (s.sender, s.receiver) in
-        { stream = s; received = List.sort compare !cell })
+        { stream = s;
+          received =
+            List.sort
+              (fun (a, x) (b, y) -> if a <> b then Int.compare a b else String.compare x y)
+              !cell })
       streams
   in
   let delivered_total = List.fold_left (fun acc r -> acc + List.length r.received) 0 results in

@@ -13,3 +13,5 @@ let spread h = Hashtbl.iter (fun _ _ -> ()) h
 let stream h = Hashtbl.to_seq h
 
 let fingerprint x = Hashtbl.hash x
+
+let rank xs = List.sort compare xs

@@ -19,3 +19,6 @@ let stream h = Hashtbl.to_seq h
 
 (* radio-lint: allow nondet-poly-hash *)
 let fingerprint x = Hashtbl.hash x
+
+(* radio-lint: allow nondet-poly-compare *)
+let rank xs = List.sort compare xs

@@ -57,7 +57,121 @@ let digraph_queries () =
   check Alcotest.bool "has outgoing" true (Digraph.has_outgoing g 3);
   check Alcotest.bool "no outgoing" false (Digraph.has_outgoing g 1)
 
+(* -- Bitset -- *)
+
+let bitset_word_boundaries () =
+  (* Exercise bits either side of the 63-bit word boundary, including the
+     native-int sign bit (bit 62), which the SWAR popcount must count. *)
+  let module B = Rgraph.Bitset in
+  let s = B.create 130 in
+  List.iter (B.set s) [ 0; 61; 62; 63; 64; 125; 126; 129 ];
+  check Alcotest.int "count" 8 (B.count s);
+  check (Alcotest.list Alcotest.int) "ascending iteration"
+    [ 0; 61; 62; 63; 64; 125; 126; 129 ] (B.to_list s);
+  B.unset s 62;
+  check Alcotest.bool "unset" false (B.mem s 62);
+  check Alcotest.int "count after unset" 7 (B.count s);
+  check Alcotest.bool "out of range mem is false" false (B.mem s 1000);
+  check Alcotest.bool "negative mem is false" false (B.mem s (-1))
+
+let bitset_popcount_all_ones () =
+  let module B = Rgraph.Bitset in
+  let s = B.create 63 in
+  for i = 0 to 62 do
+    B.set s i
+  done;
+  check Alcotest.int "full word" 63 (B.count s)
+
+(* -- Dense / edge-set equivalence -- *)
+
+let dense_matches_sparse =
+  QCheck.Test.make ~name:"Dense agrees with edge-set op-for-op" ~count:300 arb_graph
+    (fun edges ->
+      let s = Digraph.of_edges edges in
+      let d = Digraph.Dense.of_edges edges in
+      let nodes = List.init 11 Fun.id in
+      Digraph.edges s = Digraph.Dense.edges d
+      && Digraph.edge_count s = Digraph.Dense.edge_count d
+      && Digraph.vertices s = Digraph.Dense.vertices d
+      && Digraph.sources s = Digraph.Dense.sources d
+      && List.for_all
+           (fun v ->
+             Digraph.out_edges s v = Digraph.Dense.out_edges d v
+             && Digraph.in_edges s v = Digraph.Dense.in_edges d v
+             && Digraph.out_degree s v = Digraph.Dense.out_degree d v
+             && Digraph.has_outgoing s v = Digraph.Dense.has_outgoing d v)
+           nodes
+      && List.for_all
+           (fun e -> Digraph.mem_edge s e = Digraph.Dense.mem_edge d e)
+           (List.concat_map (fun v -> List.map (fun w -> (v, w)) nodes) nodes)
+      && Digraph.equal (Digraph.Dense.to_sparse d) s)
+
+let dense_update_matches_sparse =
+  QCheck.Test.make ~name:"Dense add/remove tracks edge-set" ~count:300
+    QCheck.(pair arb_graph arb_graph)
+    (fun (base, updates) ->
+      QCheck.assume (base <> []);
+      (* Interpret the second edge list as an update script: remove the
+         edge if present, add it otherwise. *)
+      let s = ref (Digraph.of_edges base) in
+      let d = ref (Digraph.Dense.of_edges ~n:11 base) in
+      List.iter
+        (fun e ->
+          if Digraph.mem_edge !s e then begin
+            s := Digraph.remove_edge !s e;
+            d := Digraph.Dense.remove_edge !d e
+          end
+          else begin
+            s := Digraph.add_edge !s e;
+            d := Digraph.Dense.add_edge !d e
+          end)
+        updates;
+      Digraph.edges !s = Digraph.Dense.edges !d)
+
+let dense_remove_noop_is_physical () =
+  let d = Digraph.Dense.of_edges [ (0, 1); (1, 2) ] in
+  check Alcotest.bool "absent removal returns same value" true
+    (Digraph.Dense.remove_edge d (2, 0) == d)
+
 (* -- Vertex cover -- *)
+
+(* Brute-force reference: smallest subset of the endpoint set covering
+   every edge, by enumerating subsets in size-then-lex order. *)
+let brute_force_minimum edges =
+  let g = Digraph.of_edges edges in
+  let vs = Array.of_list (Digraph.vertices g) in
+  let n = Array.length vs in
+  let covers mask =
+    List.for_all
+      (fun (v, w) ->
+        let bit x =
+          let rec idx i = if vs.(i) = x then i else idx (i + 1) in
+          1 lsl idx 0
+        in
+        mask land bit v <> 0 || mask land bit w <> 0)
+      edges
+  in
+  let best = ref n and best_mask = ref ((1 lsl n) - 1) in
+  for mask = 0 to (1 lsl n) - 1 do
+    let size = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then incr size
+    done;
+    if !size < !best && covers mask then begin
+      best := !size;
+      best_mask := mask
+    end
+  done;
+  List.filteri (fun i _ -> !best_mask land (1 lsl i) <> 0) (Array.to_list vs)
+
+let vc_matches_brute_force =
+  QCheck.Test.make ~name:"FPT solver matches subset enumeration" ~count:150 arb_graph
+    (fun edges ->
+      let g = Digraph.of_edges edges in
+      let opt = List.length (brute_force_minimum edges) in
+      Vertex_cover.minimum_size g = opt
+      && Vertex_cover.at_most g opt
+      && ((opt = 0) || not (Vertex_cover.at_most g (opt - 1))))
 
 let vc_known_graphs () =
   let cases =
@@ -94,6 +208,49 @@ let vc_at_most_consistent =
 let vc_is_cover_negative () =
   let g = Digraph.of_edges [ (0, 1); (2, 3) ] in
   check Alcotest.bool "partial set is not a cover" false (Vertex_cover.is_cover g [ 0 ])
+
+(* -- memo cache determinism -- *)
+
+let vc_cache_on_off_agree =
+  QCheck.Test.make ~name:"cached and uncached solves agree" ~count:100 arb_graph
+    (fun edges ->
+      let g = Digraph.of_edges edges in
+      let cached = Vertex_cover.minimum g in
+      let uncached = Cache.with_disabled (fun () -> Vertex_cover.minimum g) in
+      let cached_again = Vertex_cover.minimum g in
+      cached = uncached && cached = cached_again)
+
+let vc_cache_hits_on_repeat () =
+  let g = Digraph.Dense.of_edges (Workload.complete ~n:7) in
+  let first = Vertex_cover.minimum_dense g in
+  let hits_of () =
+    match Vertex_cover.cache_stats () with
+    | [ _; (_, s) ] -> s.Cache.hits
+    | _ -> Alcotest.fail "expected two caches"
+  in
+  let h0 = hits_of () in
+  let again = Vertex_cover.minimum_dense g in
+  check Alcotest.bool "same cover" true (first = again);
+  check Alcotest.bool "repeat query hit the memo" true (hits_of () > h0)
+
+let vc_pool_matches_serial () =
+  (* The same batch of covers through 4 pool workers and serially: the
+     memo tables are domain-local, so pooled solves must agree with serial
+     ones byte-for-byte. *)
+  let rng = Prng.Rng.create 99L in
+  let graphs =
+    List.init 24 (fun i ->
+        let n = 4 + (i mod 6) in
+        Digraph.of_edges (Workload.random_pairs rng ~n ~count:(min 8 (n * (n - 1) / 2))))
+  in
+  let serial = List.map Vertex_cover.minimum graphs in
+  let pooled =
+    Parallel.Pool.with_pool ~domains:4 (fun pool ->
+        Parallel.Pool.map_ordered pool Vertex_cover.minimum graphs)
+  in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "pooled covers equal serial covers" serial pooled
 
 (* -- Spanner -- *)
 
@@ -180,12 +337,24 @@ let () =
           Alcotest.test_case "rejects self-loops" `Quick digraph_rejects_self_loop;
           Alcotest.test_case "rejects negative ids" `Quick digraph_rejects_negative;
           Alcotest.test_case "queries" `Quick digraph_queries ] );
+      ( "bitset",
+        [ Alcotest.test_case "word boundaries" `Quick bitset_word_boundaries;
+          Alcotest.test_case "popcount full word" `Quick bitset_popcount_all_ones ] );
+      ( "dense",
+        [ Alcotest.test_case "no-op removal is physical" `Quick dense_remove_noop_is_physical;
+          qcheck dense_matches_sparse;
+          qcheck dense_update_matches_sparse ] );
       ( "vertex-cover",
         [ Alcotest.test_case "known graphs" `Quick vc_known_graphs;
           Alcotest.test_case "is_cover negative" `Quick vc_is_cover_negative;
           qcheck vc_minimum_is_cover;
           qcheck vc_greedy_within_2x;
-          qcheck vc_at_most_consistent ] );
+          qcheck vc_at_most_consistent;
+          qcheck vc_matches_brute_force ] );
+      ( "memo-cache",
+        [ Alcotest.test_case "hits on repeat" `Quick vc_cache_hits_on_repeat;
+          Alcotest.test_case "pool matches serial" `Quick vc_pool_matches_serial;
+          qcheck vc_cache_on_off_agree ] );
       ( "spanner",
         [ Alcotest.test_case "pair count" `Quick spanner_pair_count;
           Alcotest.test_case "leaders" `Quick spanner_leaders;
