@@ -26,10 +26,16 @@ module Json = Experiments.Json
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
 
-let load path =
+let load ~role path =
+  (* A missing file gets its own message: "No such file or directory" buried
+     in a Sys_error reads like an I/O fault, but the usual cause is a bench
+     run that never produced the document this role expects. *)
+  if not (Sys.file_exists path) then
+    die "%s file %s does not exist (produce it with: dune exec bench/main.exe -- --bench-json %s)"
+      role path path;
   let contents =
     try In_channel.with_open_bin path In_channel.input_all
-    with Sys_error msg -> die "cannot read %s: %s" path msg
+    with Sys_error msg -> die "cannot read %s file: %s" role msg
   in
   match Json.of_string contents with
   | Ok doc -> doc
@@ -70,7 +76,7 @@ let history_schema = "radio-bench-history/v1"
 let load_history path =
   if not (Sys.file_exists path) then []
   else begin
-    let doc = load path in
+    let doc = load ~role:"history" path in
     (match Option.bind (Json.member "schema" doc) Json.to_string_opt with
      | Some s when s = history_schema -> ()
      | Some other -> die "%s: unsupported history schema %S (want %s)" path other history_schema
@@ -170,7 +176,8 @@ let () =
   let baseline_path, current_path =
     match cli.paths with [ b; c ] -> (b, c) | _ -> usage ()
   in
-  let baseline = load baseline_path and current = load current_path in
+  let baseline = load ~role:"baseline" baseline_path
+  and current = load ~role:"current" current_path in
   check_schema baseline_path baseline;
   check_schema current_path current;
   (* -- determinism gate -- *)

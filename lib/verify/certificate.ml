@@ -1,0 +1,35 @@
+module Json = Experiments.Json
+
+type t = {
+  check : string;
+  theorem : string;
+  description : string;
+  instances : int;
+  explored : (string * int) list;
+  bound : string;
+  violations : string list;
+  worst : (string * Json.t) list;
+}
+
+let passed t = t.violations = []
+
+let to_json t =
+  Json.Obj
+    [ ("check", Json.String t.check);
+      ("theorem", Json.String t.theorem);
+      ("description", Json.String t.description);
+      ("passed", Json.Bool (passed t));
+      ("instances", Json.Int t.instances);
+      ("explored", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.explored));
+      ("bound", Json.String t.bound);
+      ("violations", Json.List (List.map (fun v -> Json.String v) t.violations));
+      ("worst", Json.Obj t.worst) ]
+
+let schema = "radio-verify/v1"
+
+let document ~tier checks =
+  Json.Obj
+    [ ("schema", Json.String schema);
+      ("tier", Json.String tier);
+      ("passed", Json.Bool (List.for_all passed checks));
+      ("checks", Json.List (List.map to_json checks)) ]

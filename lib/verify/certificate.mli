@@ -1,0 +1,38 @@
+(** Structured verification certificates (schema [radio-verify/v1]).
+
+    Each exhaustive check emits one certificate: what was enumerated (the
+    instance space and its size), how much work the walk did (in the
+    check's own unit — game states, cover subsets, strike strategies),
+    the bound that was verified, the worst case attained (with a witness
+    the reader can replay), and the violations found (empty on a pass).
+
+    Certificates are pure data: no wall-clock, no cache statistics, no
+    machine identity.  Every field is a deterministic function of the
+    instance enumeration, so the serialized document is byte-identical
+    across runs, hosts, and [--jobs] counts — the property CI gates on
+    and the pinned-certificate regression test compares field-for-field. *)
+
+type t = {
+  check : string;  (** stable identifier, e.g. ["removal-game-move-bound"] *)
+  theorem : string;  (** the paper claim verified, e.g. ["Theorem 4"] *)
+  description : string;  (** one-line statement of the verified property *)
+  instances : int;  (** instances exhaustively enumerated *)
+  explored : (string * int) list;
+      (** named work counters (states, subsets, strategies, engine runs);
+          deterministic, so they double as enumeration fingerprints *)
+  bound : string;  (** the bound checked, in human-readable form *)
+  violations : string list;  (** empty iff the check passed *)
+  worst : (string * Experiments.Json.t) list;
+      (** worst-case witness fields (instance, attained value, tightness) *)
+}
+
+val passed : t -> bool
+
+val to_json : t -> Experiments.Json.t
+
+val schema : string
+(** ["radio-verify/v1"]. *)
+
+val document : tier:string -> t list -> Experiments.Json.t
+(** The full certificate suite document:
+    [{ schema; tier; passed; checks }]. *)

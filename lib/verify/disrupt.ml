@@ -1,0 +1,141 @@
+module Dense = Rgraph.Digraph.Dense
+
+(* All unordered pairs of [0..n-1], lexicographic: bit i of an edge mask
+   names pairs.(i). *)
+let pairs_of n =
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    for w = n - 1 downto v + 1 do
+      acc := (v, w) :: !acc
+    done
+  done;
+  Array.of_list !acc
+
+let edges_of_mask pairs mask =
+  let acc = ref [] in
+  for i = Array.length pairs - 1 downto 0 do
+    if mask land (1 lsl i) <> 0 then acc := pairs.(i) :: !acc
+  done;
+  !acc
+
+let covers edges node_mask =
+  List.for_all (fun (v, w) -> node_mask land ((1 lsl v) lor (1 lsl w)) <> 0) edges
+
+let brute_at_most g k =
+  let n = Dense.universe g in
+  let edges = Dense.edges g in
+  let tested = ref 0 in
+  let found = ref false in
+  let mask = ref 0 in
+  while (not !found) && !mask < 1 lsl n do
+    if Rgraph.Bitset.popcount_word !mask <= k then begin
+      incr tested;
+      if covers edges !mask then found := true
+    end;
+    incr mask
+  done;
+  (!found, !tested)
+
+let brute_minimum_size g =
+  let n = Dense.universe g in
+  let edges = Dense.edges g in
+  let best = ref n in
+  for mask = 0 to (1 lsl n) - 1 do
+    let size = Rgraph.Bitset.popcount_word mask in
+    if size < !best && covers edges mask then best := size
+  done;
+  !best
+
+type result = {
+  graphs : int;
+  queries : int;
+  subsets : int;
+  violations : string list;
+  worst_cover : int;
+  worst_graph : string;
+}
+
+let pp_edges edges =
+  Printf.sprintf "[%s]"
+    (String.concat ";" (List.map (fun (v, w) -> Printf.sprintf "%d,%d" v w) edges))
+
+(* One enumeration chunk: graphs [lo, hi) of the n-node edge-mask space. *)
+let check_chunk ~n ~budgets (lo, hi) =
+  let pairs = pairs_of n in
+  let queries = ref 0 and subsets = ref 0 and violations = ref [] in
+  let worst_cover = ref (-1) and worst_graph = ref "" in
+  for mask = lo to hi - 1 do
+    let edges = edges_of_mask pairs mask in
+    let g = Dense.of_edges ~n edges in
+    let brute_min = brute_minimum_size g in
+    subsets := !subsets + (1 lsl n);
+    let kernel_min = Rgraph.Vertex_cover.minimum_size_dense g in
+    incr queries;
+    if kernel_min <> brute_min then
+      violations :=
+        Printf.sprintf "minimum_size_dense=%d but brute force says %d on n=%d %s" kernel_min
+          brute_min n (pp_edges edges)
+        :: !violations;
+    let cover = Rgraph.Vertex_cover.minimum_dense g in
+    incr queries;
+    let cover_mask = List.fold_left (fun acc v -> acc lor (1 lsl v)) 0 cover in
+    if not (covers edges cover_mask && List.length cover = brute_min) then
+      violations :=
+        Printf.sprintf "minimum_dense returned a non-minimum or non-cover [%s] on n=%d %s"
+          (String.concat ";" (List.map string_of_int cover))
+          n (pp_edges edges)
+        :: !violations;
+    List.iter
+      (fun t ->
+        let kernel = Rgraph.Vertex_cover.at_most_dense g t in
+        let brute, tested = brute_at_most g t in
+        queries := !queries + 1;
+        subsets := !subsets + tested;
+        if kernel <> brute then
+          violations :=
+            Printf.sprintf "at_most_dense t=%d says %b but brute force says %b on n=%d %s" t
+              kernel brute n (pp_edges edges)
+            :: !violations)
+      budgets;
+    if brute_min > !worst_cover then begin
+      worst_cover := brute_min;
+      worst_graph := Printf.sprintf "n=%d %s" n (pp_edges edges)
+    end
+  done;
+  { graphs = hi - lo;
+    queries = !queries;
+    subsets = !subsets;
+    violations = List.rev !violations;
+    worst_cover = !worst_cover;
+    worst_graph = !worst_graph }
+
+let merge a b =
+  { graphs = a.graphs + b.graphs;
+    queries = a.queries + b.queries;
+    subsets = a.subsets + b.subsets;
+    violations = a.violations @ b.violations;
+    worst_cover = (if b.worst_cover > a.worst_cover then b.worst_cover else a.worst_cover);
+    worst_graph = (if b.worst_cover > a.worst_cover then b.worst_graph else a.worst_graph) }
+
+let empty =
+  { graphs = 0; queries = 0; subsets = 0; violations = []; worst_cover = -1; worst_graph = "" }
+
+let chunk_size = 1024
+
+let check ~max_nodes ~budgets ~jobs =
+  let tasks = ref [] in
+  for n = max_nodes downto 1 do
+    let total = 1 lsl (n * (n - 1) / 2) in
+    let lo = ref 0 in
+    let chunks = ref [] in
+    while !lo < total do
+      let hi = min total (!lo + chunk_size) in
+      chunks := (n, (!lo, hi)) :: !chunks;
+      lo := hi
+    done;
+    tasks := List.rev !chunks @ !tasks
+  done;
+  let results =
+    Parallel.map_ordered ~jobs (fun (n, span) -> check_chunk ~n ~budgets span) !tasks
+  in
+  List.fold_left merge empty results

@@ -1,0 +1,125 @@
+(* Exhaustive sweep of the removal game over every labeled digraph on a
+   small node set, one complete minimax walk per instance. *)
+
+type config = { label : string; budget : int; channels_used : int }
+
+(* All ordered pairs (v, w), v <> w, of [0..n-1], lexicographic: bit i of
+   a digraph mask names pairs.(i). *)
+let ordered_pairs n =
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    for w = n - 1 downto 0 do
+      if v <> w then acc := (v, w) :: !acc
+    done
+  done;
+  Array.of_list !acc
+
+let edges_of_mask pairs mask =
+  let acc = ref [] in
+  for i = Array.length pairs - 1 downto 0 do
+    if mask land (1 lsl i) <> 0 then acc := pairs.(i) :: !acc
+  done;
+  !acc
+
+type result = {
+  instances : int;
+  states : int;
+  choices : int;
+  strategies : int;
+  worst_moves : int;
+  worst_edges : int;
+  worst_instance : string;
+  tight_instances : int;
+  tight_example : string;
+  violations : string list;
+}
+
+let empty =
+  { instances = 0; states = 0; choices = 0; strategies = 0; worst_moves = -1;
+    worst_edges = 0; worst_instance = ""; tight_instances = 0; tight_example = "";
+    violations = [] }
+
+let merge a b =
+  { instances = a.instances + b.instances;
+    states = a.states + b.states;
+    choices = a.choices + b.choices;
+    strategies = a.strategies + b.strategies;
+    worst_moves = (if b.worst_moves > a.worst_moves then b.worst_moves else a.worst_moves);
+    worst_edges = (if b.worst_moves > a.worst_moves then b.worst_edges else a.worst_edges);
+    worst_instance =
+      (if b.worst_moves > a.worst_moves then b.worst_instance else a.worst_instance);
+    tight_instances = a.tight_instances + b.tight_instances;
+    tight_example = (if a.tight_example = "" then b.tight_example else a.tight_example);
+    violations = a.violations @ b.violations }
+
+let pp_edges edges =
+  Printf.sprintf "[%s]"
+    (String.concat ";" (List.map (fun (v, w) -> Printf.sprintf "%d,%d" v w) edges))
+
+let check_chunk ~nodes config (lo, hi) =
+  let pairs = ordered_pairs nodes in
+  let acc = ref empty in
+  for mask = lo to hi - 1 do
+    let edges = edges_of_mask pairs mask in
+    let edge_count = List.length edges in
+    let root =
+      Game.State.create_dense ~proposal_size:config.channels_used
+        ~min_proposal:(config.budget + 1)
+        (Rgraph.Digraph.Dense.of_edges ~n:nodes edges)
+        ~t:config.budget
+    in
+    let r = Game_tree.explore root in
+    let describe () = Printf.sprintf "%s n=%d %s" config.label nodes (pp_edges edges) in
+    let violations =
+      List.map (fun v -> Printf.sprintf "%s: %s" config.label v) r.Game_tree.violations
+    in
+    let violations =
+      if r.Game_tree.worst_moves > 3 * edge_count then
+        Printf.sprintf "%s: worst referee forces %d moves > bound 3|E|=%d on %s" config.label
+          r.Game_tree.worst_moves (3 * edge_count) (describe ())
+        :: violations
+      else violations
+    in
+    let tight = edge_count >= 1 && r.Game_tree.worst_moves >= edge_count in
+    acc :=
+      merge !acc
+        { instances = 1;
+          states = r.Game_tree.states;
+          choices = r.Game_tree.choices;
+          strategies = r.Game_tree.strategies;
+          worst_moves = r.Game_tree.worst_moves;
+          worst_edges = edge_count;
+          worst_instance = describe ();
+          tight_instances = (if tight then 1 else 0);
+          tight_example =
+            (if tight then
+               Printf.sprintf "%s: %d moves on |E|=%d" (describe ()) r.Game_tree.worst_moves
+                 edge_count
+             else "");
+          violations }
+  done;
+  !acc
+
+let chunk_size = 256
+
+let check ~nodes config ~jobs =
+  let total = 1 lsl (nodes * (nodes - 1)) in
+  let spans = ref [] in
+  let lo = ref 0 in
+  while !lo < total do
+    let hi = min total (!lo + chunk_size) in
+    spans := (!lo, hi) :: !spans;
+    lo := hi
+  done;
+  let results =
+    Parallel.map_ordered ~jobs (fun span -> check_chunk ~nodes config span) (List.rev !spans)
+  in
+  let r = List.fold_left merge empty results in
+  let violations =
+    if r.tight_instances = 0 then
+      Printf.sprintf
+        "%s: bound not tight anywhere: no instance with |E| >= 1 needed |E| moves" config.label
+      :: r.violations
+    else r.violations
+  in
+  { r with violations }

@@ -1,0 +1,38 @@
+(** Exhaustive verification of the removal-game move bound (Theorem 4).
+
+    Enumerates {e every} directed graph on a small labeled node set (all
+    2^(n(n-1)) ordered-pair subsets) and, for each one, walks the
+    complete referee tree with {!Game_tree.explore} under a given
+    (t, channels_used) configuration.  Checks, per instance:
+
+    - the minimax worst case never exceeds 3|E| moves (experiment E4's
+      bound: |E| removals plus at most 2|E| node starrings);
+    - greedy proposals are legal at every reachable state;
+    - greedy terminates only in won states (Lemma 3);
+
+    and across the sweep, that the bound is {e tight} in the Omega(|E|)
+    sense: at least one instance whose worst case needs >= |E| moves. *)
+
+type config = {
+  label : string;
+  budget : int;  (** the adversary's t *)
+  channels_used : int;  (** proposal-size cap C' *)
+}
+
+type result = {
+  instances : int;  (** digraphs enumerated *)
+  states : int;  (** distinct game states expanded, summed *)
+  choices : int;  (** referee responses explored, summed *)
+  strategies : int;  (** complete referee strategies, summed *)
+  worst_moves : int;  (** max minimax move count over the sweep *)
+  worst_edges : int;  (** |E| of an instance attaining it *)
+  worst_instance : string;
+  tight_instances : int;  (** instances with |E| >= 1 and worst >= |E| *)
+  tight_example : string;  (** one of them (tightness witness) *)
+  violations : string list;
+}
+
+val check : nodes:int -> config -> jobs:int -> result
+(** Shards the 2^(n(n-1)) edge-mask space across the domain pool in
+    fixed-size chunks and merges in enumeration order: identical output
+    for every [jobs]. *)

@@ -1,0 +1,69 @@
+type tier = {
+  label : string;
+  disrupt_nodes : int;
+  disrupt_budgets : int list;
+  game_sweeps : (int * Game_check.config list) list;
+  regimes : Fame_check.regime list;
+  path_limit : int;
+}
+
+let two_pairs = [ (0, 1); (2, 3) ]
+let three_pairs = [ (0, 1); (2, 3); (4, 5) ]
+let four_pairs = [ (0, 1); (2, 3); (4, 5); (6, 7) ]
+
+(* Pairs sharing a source: the failure graph can need its cover at the
+   shared endpoint, exercising the non-matching side of Theorem 2. *)
+let shared_source_pairs = [ (0, 1); (0, 2); (3, 4) ]
+
+let game_configs =
+  [ { Game_check.label = "t=1,C'=2"; budget = 1; channels_used = 2 };
+    { Game_check.label = "t=2,C'=3"; budget = 2; channels_used = 3 };
+    { Game_check.label = "t=2,C'=4"; budget = 2; channels_used = 4 } ]
+
+(* Regime names are certificate keys: keep them stable. *)
+let quick_regimes =
+  [ { Fame_check.name = "seq-t1-C2"; budget = 1; channels = 2; channels_used = 2;
+      mode = Ame.Fame.Sequential; pairs = two_pairs; jam_feedback = false; seed = 101L };
+    { Fame_check.name = "tree-t1-C2"; budget = 1; channels = 2; channels_used = 2;
+      mode = Ame.Fame.Tree; pairs = two_pairs; jam_feedback = false; seed = 102L };
+    { Fame_check.name = "seq-t1-C2-fbjam"; budget = 1; channels = 2; channels_used = 2;
+      mode = Ame.Fame.Sequential; pairs = two_pairs; jam_feedback = true; seed = 103L };
+    { Fame_check.name = "seq-t2-C3"; budget = 2; channels = 3; channels_used = 3;
+      mode = Ame.Fame.Sequential; pairs = three_pairs; jam_feedback = false; seed = 104L };
+    { Fame_check.name = "seq-t2-C4"; budget = 2; channels = 4; channels_used = 4;
+      mode = Ame.Fame.Sequential; pairs = three_pairs; jam_feedback = false; seed = 105L } ]
+
+let full_regimes =
+  quick_regimes
+  @ [ { Fame_check.name = "tree-t2-C8"; budget = 2; channels = 8; channels_used = 4;
+        mode = Ame.Fame.Tree; pairs = four_pairs; jam_feedback = false; seed = 106L };
+      { Fame_check.name = "tree-t2-C8-fbjam"; budget = 2; channels = 8; channels_used = 4;
+        mode = Ame.Fame.Tree; pairs = four_pairs; jam_feedback = true; seed = 107L };
+      { Fame_check.name = "seq-t2-C3-shared"; budget = 2; channels = 3; channels_used = 3;
+        mode = Ame.Fame.Sequential; pairs = shared_source_pairs; jam_feedback = false;
+        seed = 108L };
+      { Fame_check.name = "seq-t2-C4-fbjam"; budget = 2; channels = 4; channels_used = 4;
+        mode = Ame.Fame.Sequential; pairs = three_pairs; jam_feedback = true; seed = 109L } ]
+
+let quick =
+  { label = "quick";
+    disrupt_nodes = 5;
+    disrupt_budgets = [ 0; 1; 2 ];
+    game_sweeps = [ (4, game_configs) ];
+    regimes = quick_regimes;
+    path_limit = 50_000 }
+
+let full =
+  { label = "full";
+    disrupt_nodes = 6;
+    disrupt_budgets = [ 0; 1; 2; 3 ];
+    game_sweeps =
+      [ (4, game_configs);
+        (5, [ { Game_check.label = "t=1,C'=2"; budget = 1; channels_used = 2 } ]) ];
+    regimes = full_regimes;
+    path_limit = 100_000 }
+
+let of_label = function
+  | "quick" -> Some quick
+  | "full" -> Some full
+  | _ -> None

@@ -1,0 +1,23 @@
+(** The bounded model: which instances each certificate tier exhausts.
+
+    Quick (the CI gate) stays within n <= 5 graphs, t <= 2, C <= 6 and
+    must finish in well under a minute; full (the nightly tier) pushes to
+    n <= 6 graphs, C <= 8, and the C = 2t^2 tree regime at t = 2.  Every
+    number here is part of the verified claim, so the sets are data the
+    suite reports verbatim into certificates — not tunables. *)
+
+type tier = {
+  label : string;  (** ["quick"] or ["full"] *)
+  disrupt_nodes : int;  (** all graphs on <= this many labeled nodes *)
+  disrupt_budgets : int list;  (** t values checked per graph *)
+  game_sweeps : (int * Game_check.config list) list;
+      (** (n, configs): all digraphs on n labeled nodes, per config *)
+  regimes : Fame_check.regime list;
+  path_limit : int;  (** hard cap on strike strategies per regime *)
+}
+
+val quick : tier
+val full : tier
+
+val of_label : string -> tier option
+(** ["quick"] or ["full"]. *)

@@ -1,0 +1,16 @@
+(** The certificate suite: runs all three exhaustive checks of a tier and
+    assembles the [radio-verify/v1] document plus a human-readable report.
+
+    Everything — certificates, JSON, rendered text — is a deterministic
+    function of the tier alone: sharding across the domain pool merges in
+    enumeration order, so output is byte-identical for every job count. *)
+
+type report = {
+  tier : string;
+  certificates : Certificate.t list;
+  passed : bool;  (** every certificate's violation list is empty *)
+  human : Experiments.Common.result;  (** table + violations, render-ready *)
+  doc : Experiments.Json.t;  (** the [radio-verify/v1] document *)
+}
+
+val run : Instances.tier -> jobs:int -> report
