@@ -1,0 +1,127 @@
+(* radio_race: typed interprocedural race & determinism analyzer.
+
+   Loads the .cmt typedtrees dune produces (`dune build @check`), links a
+   whole-repo call graph, and checks two invariants the syntactic linter
+   cannot see:
+
+   - race-escape: a closure submitted across the pool boundary
+     (Parallel.map_ordered, Pool.map_ordered, Common.replicates/sweep)
+     must not write mutable state allocated outside itself — through any
+     chain of aliases and calls;
+   - race-taint: everything reachable from the experiment runner/registry
+     or from a pool task must stay at or below DetLocal on the
+     Pure < DetLocal < Tainted lattice.
+
+   Shares lint.toml (race-escape / race-taint allowlists) and the exit
+   code contract with radio_lint: 0 clean, 1 active findings, 2 usage,
+   configuration, or cmt-loading errors.  Per-line escapes are
+   `(* radio-race: allow <rule> *)` on the offending line or the line
+   above.  The JSON report (radio-race/v1) is byte-identical for any
+   --jobs. *)
+
+open Cmdliner
+
+let run root config_path build_dir json_path jobs quiet roots =
+  let config_file =
+    if Filename.is_relative config_path then Filename.concat root config_path
+    else config_path
+  in
+  match Lint.Config.load config_file with
+  | Error msg ->
+    Printf.eprintf "radio_race: cannot load %s: %s\n%!" config_file msg;
+    2
+  | Ok config -> (
+    let roots = if roots = [] then config.Lint.Config.roots else roots in
+    let opts =
+      { (Analysis.Driver.default_options ~config) with
+        Analysis.Driver.build_dir = Filename.concat root build_dir;
+        source_root = root;
+        roots;
+        jobs }
+    in
+    match Analysis.Driver.run opts with
+    | Error msg ->
+      Printf.eprintf "radio_race: %s\n%!" msg;
+      2
+    | Ok outcome -> (
+      let report = outcome.Analysis.Driver.o_report in
+      if not quiet then begin
+        Format.printf "%a" Analysis.Report.pp_text report;
+        Format.printf
+          "radio_race: %d cmt(s), %d unit(s), %d active finding(s), %d suppressed, %d \
+           error(s)@."
+          outcome.Analysis.Driver.o_cmts outcome.Analysis.Driver.o_units
+          (List.length (Analysis.Report.active report))
+          (List.length report.Analysis.Report.r_findings
+          - List.length (Analysis.Report.active report))
+          (List.length report.Analysis.Report.r_errors)
+      end;
+      let status = Analysis.Report.exit_code report in
+      match json_path with
+      | Some path -> (
+        match
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (Experiments.Json.to_string (Analysis.Report.to_json report));
+              output_char oc '\n')
+        with
+        | () -> status
+        | exception Sys_error msg ->
+          Printf.eprintf "radio_race: cannot write --json results: %s\n%!" msg;
+          2)
+      | None -> status))
+
+let root_arg =
+  Arg.(
+    value & opt string "."
+    & info [ "root" ] ~docv:"DIR"
+        ~doc:"Workspace root: lint.toml, sources, and _build live here.")
+
+let config_arg =
+  Arg.(
+    value & opt string "lint.toml"
+    & info [ "config" ] ~docv:"FILE"
+        ~doc:"Configuration file (shared with radio_lint), relative to --root.")
+
+let build_dir_arg =
+  Arg.(
+    value
+    & opt string (Filename.concat "_build" "default")
+    & info [ "build-dir" ] ~docv:"DIR"
+        ~doc:"Where dune put the .cmt files, relative to --root.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:"Also write the report as radio-race/v1 JSON to $(docv).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains for the cmt loading phase.  The report is byte-identical for any \
+           value.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the text report (exit code only).")
+
+let roots_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"ROOT"
+        ~doc:"Source subtrees to analyze (default: the configuration's roots).")
+
+let cmd =
+  let doc = "typed interprocedural race & determinism analysis over cmt typedtrees" in
+  let info = Cmd.info "radio_race" ~doc ~exits:Cmd.Exit.defaults in
+  Cmd.v info
+    Term.(
+      const run $ root_arg $ config_arg $ build_dir_arg $ json_arg $ jobs_arg $ quiet_arg
+      $ roots_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,33 @@
+(** Orchestration of the typed race/determinism analysis: cmt discovery
+    and (parallel, order-merged) loading, call-graph linking, the
+    race-escape and race-taint checks, and classification against
+    lint.toml allowlists and [(* radio-race: allow <rule> *)] escape
+    comments.
+
+    Deterministic by construction: the only parallel phase is the loader,
+    whose results merge in submission order; findings are sorted and
+    deduplicated.  The report is byte-identical for any [jobs]. *)
+
+type options = {
+  build_dir : string;  (** where dune put the cmts, e.g. [_build/default] *)
+  source_root : string;  (** workspace root the cmt source paths are relative to *)
+  roots : string list;  (** subtrees to analyze, e.g. [["lib"; "bin"; "bench"]] *)
+  config : Lint.Config.t;  (** shared lint.toml (race-escape / race-taint) *)
+  jobs : int;
+  read_source : (string -> string option) option;
+      (** test hook: overrides on-disk source text for escape-comment
+          scanning *)
+}
+
+type outcome = {
+  o_report : Report.t;
+  o_cmts : int;  (** cmt files discovered *)
+  o_units : int;  (** implementation units summarized *)
+}
+
+val default_options : config:Lint.Config.t -> options
+(** [_build/default], source root ["."], the config's roots, one job. *)
+
+val run : options -> (outcome, string) result
+(** [Error msg] when no cmt files exist at all — the message names
+    [dune build @check] as the fix. *)

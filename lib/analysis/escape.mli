@@ -1,0 +1,9 @@
+(** The race-escape check: closures submitted across the pool boundary
+    must not write mutable state allocated outside themselves.  Writes to
+    own parameters and to allocations inside the closure's span are
+    per-task; per-domain DLS state and sites owned by allowlisted files
+    are sanctioned. *)
+
+val check : Callgraph.t -> allowed:(string -> bool) -> Report.finding list
+(** [allowed file] holds for files inside the race-escape allowlist
+    (tested against the *allocation site's* file, not the closure's). *)

@@ -1,0 +1,112 @@
+(* Discovery and loading of the [.cmt] typedtrees dune produces.
+
+   dune hides compilation artifacts in dot-directories
+   ([_build/default/lib/parallel/.parallel.objs/byte/*.cmt]), so the scan
+   must descend into directories ordinary tree walks skip.  Loading is
+   the analyzer's only parallel phase: files are read and summarized
+   through [Parallel.map_ordered] over the *sorted* path list, and the
+   ordered merge keeps everything downstream deterministic. *)
+
+type error = {
+  e_path : string;
+  e_msg : string;
+}
+
+type t = {
+  units : Summary.t list;
+  errors : error list;
+}
+
+let regen_hint = "run `dune build @check` to (re)generate typedtrees"
+
+let is_dir p = try Sys.is_directory p with Sys_error _ -> false
+
+let has_suffix suf s =
+  let n = String.length s and m = String.length suf in
+  n >= m && String.sub s (n - m) m = suf
+
+(* All *.cmt files under [build_dir/<root>] for each requested root,
+   sorted for a deterministic work list. *)
+let find_cmts ~build_dir ~roots =
+  let acc = ref [] in
+  let rec scan dir =
+    match Sys.readdir dir with
+    | entries ->
+      Array.sort compare entries;
+      Array.iter
+        (fun entry ->
+          let p = Filename.concat dir entry in
+          if is_dir p then scan p
+          else if has_suffix ".cmt" entry then acc := p :: !acc)
+        entries
+    | exception Sys_error _ -> ()
+  in
+  List.iter
+    (fun root ->
+      let dir = Filename.concat build_dir root in
+      if is_dir dir then scan dir)
+    roots;
+  List.sort compare !acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Source text for escape-comment scanning.  [cmt_sourcefile] is recorded
+   relative to dune's build context, which usually matches the workspace
+   root; generated wrappers sometimes carry one extra leading component,
+   so try both. *)
+let source_text ~source_root rel =
+  let candidates =
+    [ Filename.concat source_root rel;
+      (match String.index_opt rel '/' with
+      | Some i ->
+        Filename.concat source_root (String.sub rel (i + 1) (String.length rel - i - 1))
+      | None -> rel) ]
+  in
+  let rec try_all = function
+    | [] -> None
+    | c :: rest -> (
+      if Sys.file_exists c && not (is_dir c) then
+        match read_file c with
+        | text -> Some text
+        | exception Sys_error _ -> try_all rest
+      else try_all rest)
+  in
+  try_all candidates
+
+(* Load one cmt.  [Ok None] for non-implementation artifacts (interfaces,
+   packs, partial trees) — they carry no structure to analyze. *)
+let load_one path =
+  match Cmt_format.read_cmt path with
+  | exception Sys_error msg -> Error msg
+  | exception Cmt_format.Error (Cmt_format.Not_a_typedtree msg) ->
+    Error ("not a typedtree: " ^ msg)
+  | exception Failure msg -> Error msg
+  | infos -> (
+    match infos.Cmt_format.cmt_annots with
+    | Cmt_format.Implementation str ->
+      let unit_name = Names.normalize_unit infos.Cmt_format.cmt_modname in
+      let source =
+        match infos.Cmt_format.cmt_sourcefile with Some s -> s | None -> ""
+      in
+      Ok (Some (Summary.of_structure ~unit_name ~source str))
+    | _ -> Ok None)
+
+let load ~build_dir ~roots ~jobs =
+  let paths = find_cmts ~build_dir ~roots in
+  let results =
+    Parallel.map_ordered ~jobs (fun path -> (path, load_one path)) paths
+  in
+  let units, errors =
+    List.fold_left
+      (fun (us, es) (path, r) ->
+        match r with
+        | Ok (Some u) -> (u :: us, es)
+        | Ok None -> (us, es)
+        | Error msg -> (us, { e_path = path; e_msg = msg } :: es))
+      ([], []) results
+  in
+  { units = List.rev units; errors = List.rev errors }

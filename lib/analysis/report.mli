@@ -1,0 +1,59 @@
+(** Findings, escape-comment suppression, and the radio-race/v1 JSON
+    report.
+
+    Mirrors radio_lint's contract: a finding is active unless lint.toml's
+    allowlist pre-approves its file or the offending line (or the line
+    above) carries [(* radio-race: allow <rule> *)].  Findings are sorted
+    and deduplicated before classification, so the JSON is byte-identical
+    for any [--jobs]. *)
+
+type step = {
+  st_def : string;
+  st_loc : Names.loc;
+  st_action : string;
+}
+
+type finding = {
+  f_rule : string;  (** ["race-escape"] or ["race-taint"] *)
+  f_loc : Names.loc;  (** primary: allocation site / taint source *)
+  f_def : string;  (** offending definition (task closure, tainted fn) *)
+  f_entry : (string * Names.loc) option;  (** pool boundary crossed, if any *)
+  f_message : string;
+  f_chain : step list;  (** derivation: defs and calls down to the write *)
+}
+
+type status =
+  | Active
+  | Suppressed of string
+
+type classified = {
+  c_finding : finding;
+  c_status : status;
+}
+
+type t = {
+  r_findings : classified list;
+  r_errors : (string * string) list;
+}
+
+val escape_marker : string
+(** ["radio-race: allow"]. *)
+
+val make :
+  config:Lint.Config.t ->
+  read_source:(string -> string option) ->
+  errors:(string * string) list ->
+  finding list ->
+  t
+(** Sort, deduplicate, and classify findings.  [read_source] maps a
+    workspace-relative path to its text for escape-comment scanning. *)
+
+val active : t -> finding list
+
+val exit_code : t -> int
+(** 2 when there are loading errors, 1 when any finding is active, 0
+    otherwise — the same contract as radio_lint. *)
+
+val to_json : t -> Experiments.Json.t
+
+val pp_text : Format.formatter -> t -> unit

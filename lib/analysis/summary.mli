@@ -1,0 +1,86 @@
+(** Per-compilation-unit extraction over a [.cmt] typedtree.
+
+    One walk produces, for every definition in the unit (top-level
+    binding, nested-module binding, or lexically nested closure): its
+    call-graph edges with per-argument origins, the mutable allocation
+    sites it owns, the writes it performs (each naming the origin of the
+    mutated value), its own determinism taint, and the pool-boundary
+    calls it contains.  The interprocedural fixpoints live in
+    {!Callgraph}; this module is purely local to one unit. *)
+
+type site_key = string * int
+(** (unit name, per-unit allocation index). *)
+
+(** A value captured from an enclosing frame: which frame owns it, and
+    whether it is one of that frame's parameters or an opaque local. *)
+type outer_base =
+  | Oparam of int
+  | Oopaque
+
+type outer = {
+  oframe : string;
+  obase : outer_base;
+  oname : string;
+}
+
+(** Where a value came from, as far as one unit can see. *)
+type origin =
+  | OParam of int  (** the enclosing definition's [i]-th parameter *)
+  | OSite of site_key  (** a known mutable allocation site *)
+  | OFunc of string  (** a known function definition (by canonical key) *)
+  | OGlobal of string  (** a top-level value, own or external, by key *)
+  | OReturn of string  (** the return value of a call to the named function *)
+  | OOuter of outer  (** captured from an enclosing frame *)
+  | OOther  (** opaque local value *)
+
+type site = {
+  s_key : site_key;
+  s_loc : Names.loc;
+  s_kind : Names.alloc_kind;
+  s_owner : string;  (** key of the definition whose body allocates it *)
+  s_top : bool;  (** [true] for module-level allocations *)
+  s_name : string;  (** binder name, for reports *)
+}
+
+type call = {
+  c_callee : string;  (** canonical key: repo definition or external path *)
+  c_args : (Asttypes.arg_label * origin) list;
+  c_loc : Names.loc;
+}
+
+(** A pool-boundary call site and the closure that crosses it. *)
+type entry = {
+  e_fn : string;  (** display name, e.g. ["Parallel.map_ordered"] *)
+  e_loc : Names.loc;
+  e_closure : origin;
+}
+
+type def = {
+  d_key : string;
+  d_name : string;
+  d_loc : Names.loc;
+  d_span : Names.span;  (** lexical extent of the body, for freshness tests *)
+  d_params : Asttypes.arg_label list;
+  d_fun : bool;
+  d_calls : call list;
+  d_writes : (origin * Names.loc * string) list;
+      (** (what is written, where, which primitive) *)
+  d_taint : (string * Names.loc) option;
+      (** first direct nondeterminism source referenced, if any *)
+  d_det : bool;  (** owns/touches local mutable state (at least DetLocal) *)
+  d_entries : entry list;
+  d_returns : origin;  (** origin of the tail value, for alias chasing *)
+}
+
+type t = {
+  u_name : string;  (** canonical unit name, e.g. ["Experiments.Common"] *)
+  u_source : string;  (** workspace-relative source path *)
+  u_defs : def list;
+  u_sites : site list;
+  u_globals : (string * origin) list;
+      (** top-level bindings by canonical key, for cross-unit aliasing *)
+}
+
+val of_structure : unit_name:string -> source:string -> Typedtree.structure -> t
+(** Summarize one unit.  Uses only per-call state, so it is safe to run
+    concurrently from the loader's parallel loop. *)

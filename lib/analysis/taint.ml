@@ -1,0 +1,96 @@
+(* The race-taint check: every definition reachable from the result
+   paths — the experiment runner and registry, plus every closure that
+   crosses the pool boundary — must stay at or below Det_local on the
+   [Pure < Det_local < Tainted] lattice.
+
+   The traversal is a breadth-first walk of the call graph from those
+   anchors.  It stops at definitions whose file is inside the race-taint
+   allowlist: taint there (the pool's clock, the loader's file I/O) is
+   that module's audited contract and does not flow to callers.  A
+   finding is reported at the definition that *directly* references a
+   nondeterminism source; transitively tainted callers are covered by
+   the chain on that one finding rather than repeated. *)
+
+let anchor_prefixes = [ "Experiments.Runner."; "Experiments.Registry." ]
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let is_anchor (d : Summary.def) =
+  List.exists (fun p -> has_prefix p d.Summary.d_key) anchor_prefixes
+
+(* Pool-crossing closures, resolved. *)
+let entry_closures t =
+  List.concat_map
+    (fun (d : Summary.def) ->
+      List.filter_map
+        (fun (e : Summary.entry) ->
+          match Callgraph.resolve t e.Summary.e_closure with
+          | Callgraph.RFunc k -> Some k
+          | Callgraph.RSite _ | Callgraph.RUnknown -> None)
+        d.Summary.d_entries)
+    (Callgraph.defs_in_order t)
+
+let check t ~capped =
+  let anchors =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (d : Summary.def) ->
+           if is_anchor d then Some d.Summary.d_key else None)
+         (Callgraph.defs_in_order t)
+      @ entry_closures t)
+  in
+  let visited = Hashtbl.create 256 in
+  let findings = ref [] in
+  let queue = Queue.create () in
+  List.iter
+    (fun a -> Queue.add (a, [ (a, "anchor") ]) queue)
+    anchors;
+  while not (Queue.is_empty queue) do
+    let key, path = Queue.pop queue in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.replace visited key ();
+      match Callgraph.def t key with
+      | None -> ()
+      | Some d ->
+        if not (capped d) then begin
+          (match d.Summary.d_taint with
+          | Some (what, loc) ->
+            let chain =
+              List.rev_map
+                (fun (step_key, action) ->
+                  let st_loc =
+                    match Callgraph.def t step_key with
+                    | Some sd -> sd.Summary.d_loc
+                    | None -> loc
+                  in
+                  { Report.st_def = step_key; st_loc; st_action = action })
+                path
+            in
+            findings :=
+              { Report.f_rule = "race-taint";
+                f_loc = loc;
+                f_def = key;
+                f_entry = None;
+                f_message =
+                  Printf.sprintf
+                    "%s references %s; it is reachable from deterministic result paths \
+                     and must stay at or below DetLocal"
+                    key what;
+                f_chain = chain }
+              :: !findings
+          | None -> ());
+          List.iter
+            (fun (c : Summary.call) ->
+              match Callgraph.callee_def t c.Summary.c_callee with
+              | Some g ->
+                if not (Hashtbl.mem visited g.Summary.d_key) then
+                  Queue.add
+                    (g.Summary.d_key, (g.Summary.d_key, "called by " ^ key) :: path)
+                    queue
+              | None -> ())
+            d.Summary.d_calls
+        end
+    end
+  done;
+  List.rev !findings

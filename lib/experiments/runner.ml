@@ -56,9 +56,16 @@ let json_of_outcomes ~quick ~jobs outcomes =
       ("experiments", Json.List (List.map json_of_outcome outcomes)) ]
 
 let write_json ~path ~quick ~jobs outcomes =
+  (* The sanctioned output sink on the results path: everything in
+     [outcomes] is already deterministic, and serializing it to disk is
+     this function's contract, so the file I/O is audited here rather
+     than allowlisted for the whole module. *)
+  (* radio-race: allow race-taint *)
   let oc = open_out path in
   Fun.protect
+    (* radio-race: allow race-taint *)
     ~finally:(fun () -> close_out oc)
     (fun () ->
+      (* radio-race: allow race-taint *)
       output_string oc (Json.to_string (json_of_outcomes ~quick ~jobs outcomes));
       output_char oc '\n')

@@ -118,7 +118,7 @@ let set_rule rules id f =
   let cur = match List.assoc_opt id rules with Some c -> c | None -> default_rule in
   (id, f cur) :: List.remove_assoc id rules
 
-let parse_string ?(known = Rules.ids) text =
+let parse_string ?(known = Rules.config_ids) text =
   let lines = String.split_on_char '\n' text in
   (* Join multi-line arrays: while a value opens '[' without closing it,
      splice following lines in. *)

@@ -33,7 +33,8 @@ val path_in : string list -> string -> bool
 
 val parse_string : ?known:string list -> string -> (t, string) result
 (** Parse configuration text.  [known] is the set of accepted rule ids
-    (defaults to {!Rules.ids}); an unknown id is a parse error so typos
+    (defaults to {!Rules.config_ids}, which includes the [radio_race]
+    rule ids sharing this file); an unknown id is a parse error so typos
     cannot silently disable a rule. *)
 
 val load : ?known:string list -> string -> (t, string) result

@@ -68,6 +68,10 @@ let ident_rule path =
   | [ "Hashtbl"; f ] | [ "MoreLabels"; "Hashtbl"; f ] when order_sensitive f ->
     Some "nondet-hashtbl-order"
   | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param") ] -> Some "nondet-poly-hash"
+  | [ "Atomic";
+      ( "make" | "set" | "exchange" | "compare_and_set" | "fetch_and_add" | "incr"
+      | "decr" ) ] ->
+    Some "nondet-atomic"
   | [ "Domain"; ("spawn" | "join") ]
   | [ ("Mutex" | "Condition" | "Semaphore"); "create" ]
   | [ "Semaphore"; ("Counting" | "Binary"); "make" ] ->

@@ -44,6 +44,11 @@ let all =
       summary =
         "raw Domain/Mutex/Condition primitives schedule nondeterministically; go through \
          Parallel (lib/parallel owns the domain budget and the ordered merge)" };
+    { id = "nondet-atomic";
+      family = Nondet;
+      summary =
+        "Atomic cells outside the parallel runtime invite cross-domain coordination that \
+         the deterministic merge cannot see; only lib/parallel and lib/cache may own them" };
     { id = "nondet-poly-compare";
       family = Nondet;
       summary =
@@ -73,5 +78,9 @@ let all =
   ]
 
 let ids = List.map (fun r -> r.id) all
+
+let race_ids = [ "race-escape"; "race-taint" ]
+
+let config_ids = ids @ race_ids
 
 let find id = List.find_opt (fun r -> r.id = id) all

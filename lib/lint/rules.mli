@@ -20,4 +20,12 @@ val all : t list
 
 val ids : string list
 
+val race_ids : string list
+(** Rule ids owned by the typed analyzer ([radio_race]); they share
+    [lint.toml] (scope/allow sections) but have no syntactic detector
+    here. *)
+
+val config_ids : string list
+(** Every id the configuration file may mention: {!ids} @ {!race_ids}. *)
+
 val find : string -> t option

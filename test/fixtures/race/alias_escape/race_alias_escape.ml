@@ -1,0 +1,18 @@
+(* Fixture: the laundered escape.  The shared array reaches the task
+   closure through a module-level alias, a local rebinding, and a helper
+   that mutates its parameter — each step defeats a syntactic checker,
+   none defeats alias- and call-graph-aware analysis. *)
+
+let scratch = Array.make 16 0
+
+let table = scratch
+
+let bump arr i = arr.(i) <- arr.(i) + 1
+
+let run xs =
+  let t = table in
+  Parallel.map_ordered ~jobs:2
+    (fun x ->
+      bump t (x land 15);
+      x)
+    xs

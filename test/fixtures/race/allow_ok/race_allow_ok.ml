@@ -1,0 +1,13 @@
+(* Fixture: the audited exception.  Same shape as true_escape, but the
+   allocation carries an escape comment, so the finding is suppressed —
+   and deleting the comment must flip it back to active. *)
+
+(* radio-race: allow race-escape *)
+let stats : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let run xs =
+  Parallel.map_ordered ~jobs:2
+    (fun x ->
+      Hashtbl.replace stats "n" x;
+      x)
+    xs

@@ -1,0 +1,15 @@
+(* Fixture: the sanctioned patterns.  Per-domain DLS state and
+   closure-local allocations are both fine — the analyzer must stay
+   silent here. *)
+
+let slot = Domain.DLS.new_key (fun () -> ref 0)
+
+let run xs =
+  Parallel.map_ordered ~jobs:2
+    (fun x ->
+      let buf = Buffer.create 8 in
+      Buffer.add_string buf (string_of_int x);
+      let r = Domain.DLS.get slot in
+      incr r;
+      Buffer.length buf + x)
+    xs

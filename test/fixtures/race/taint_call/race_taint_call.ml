@@ -1,0 +1,8 @@
+(* Fixture: taint through the call graph.  The pool task looks clean;
+   the nondeterminism is two calls away. *)
+
+let jitter () = Random.int 10
+
+let noisy x = x + jitter ()
+
+let run xs = Parallel.map_ordered ~jobs:2 (fun x -> noisy x) xs

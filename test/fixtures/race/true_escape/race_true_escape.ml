@@ -1,0 +1,12 @@
+(* Fixture: the textbook escape.  A module-level table written from a
+   closure submitted to the pool — every task mutates the same store. *)
+
+let memo : (int, int) Hashtbl.t = Hashtbl.create 64
+
+let run xs =
+  Parallel.map_ordered ~jobs:2
+    (fun x ->
+      let v = x * x in
+      Hashtbl.replace memo x v;
+      v)
+    xs

@@ -124,6 +124,32 @@ let test_domain_allowlisted () =
     (fun (_, reason) -> Alcotest.(check string) "reason" "allowlist" reason)
     report.Lint.Engine.suppressed
 
+let test_atomic_fires () =
+  let report = run [ "bad_atomic.ml" ] in
+  check_no_errors report;
+  Alcotest.(check (list string)) "every Atomic constructor/mutator caught"
+    [ "nondet-atomic"; "nondet-atomic"; "nondet-atomic"; "nondet-atomic"; "nondet-atomic" ]
+    (active_rules report)
+
+let test_atomic_escaped () =
+  (* Atomic.get is a read and never fires; the three writes are
+     escape-commented. *)
+  let report = run [ "ok_atomic.ml" ] in
+  check_no_errors report;
+  Alcotest.(check (list string)) "no active violations" [] (active_rules report);
+  Alcotest.(check int) "all hits suppressed" 3 (List.length report.Lint.Engine.suppressed)
+
+let test_atomic_allowlisted () =
+  (* The shape the repo config uses: lib/parallel and lib/cache on the
+     allowlist. *)
+  let rules = [ ("nondet-atomic", rule_cfg ~allow:[ fx "bad_atomic.ml" ] ()) ] in
+  let report = run ~rules [ "bad_atomic.ml" ] in
+  Alcotest.(check (list string)) "no active violations" [] (active_rules report);
+  Alcotest.(check int) "all hits suppressed" 5 (List.length report.Lint.Engine.suppressed);
+  List.iter
+    (fun (_, reason) -> Alcotest.(check string) "reason" "allowlist" reason)
+    report.Lint.Engine.suppressed
+
 (* --- partiality family ---------------------------------------------- *)
 
 let test_partial_fires () =
@@ -235,7 +261,10 @@ let () =
           Alcotest.test_case "escape comments" `Quick test_nondet_escaped;
           Alcotest.test_case "domain fires" `Quick test_domain_fires;
           Alcotest.test_case "domain escape comments" `Quick test_domain_escaped;
-          Alcotest.test_case "domain allowlist" `Quick test_domain_allowlisted ] );
+          Alcotest.test_case "domain allowlist" `Quick test_domain_allowlisted;
+          Alcotest.test_case "atomic fires" `Quick test_atomic_fires;
+          Alcotest.test_case "atomic escape comments" `Quick test_atomic_escaped;
+          Alcotest.test_case "atomic allowlist" `Quick test_atomic_allowlisted ] );
       ( "partiality",
         [ Alcotest.test_case "fires" `Quick test_partial_fires;
           Alcotest.test_case "escape comments" `Quick test_partial_escaped;
