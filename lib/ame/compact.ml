@@ -140,7 +140,7 @@ let run ?(ame_params = Params.default) ?gossip_beta ?(candidate_cap = 256) ~cfg 
     done
   in
   let gossip_engine =
-    Radio.Engine.run cfg ~adversary:(gossip_adversary cal) (Array.make n node_body)
+    Radio.Engine.run_nodes cfg ~adversary:(gossip_adversary cal) node_body
   in
   (* Phase C: f-AME over constant-size vector signatures. *)
   let signature_of v =

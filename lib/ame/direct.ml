@@ -33,6 +33,9 @@ let run ?(ame_params = Params.default) ?channels_used ~cfg ~pairs ~messages ~adv
   let delivered_cells : (int * int, string) Hashtbl.t = Hashtbl.create 64 in
   let diverged = ref false in
   let moves_counter = ref 0 in
+  (* Shared across all node fibers of this run: builds interleave on one
+     domain and never span a suspension, so they cannot overlap. *)
+  let sched_scratch = Schedule.make_scratch () in
   let node_body (ctx : Radio.Engine.ctx) =
     let id = ctx.id in
     let remaining = ref (Rgraph.Digraph.of_edges pairs) in
@@ -44,8 +47,8 @@ let run ?(ame_params = Params.default) ?channels_used ~cfg ~pairs ~messages ~adv
       else begin
         let proposal = List.map (fun e -> Game.State.Edge e) batch in
         match
-          Schedule.build ~proposal ~surrogates:(fun _ -> []) ~n ~witness_size:channels
-            ~watchers_per_channel
+          Schedule.build ~scratch:sched_scratch ~proposal ~surrogates:(fun _ -> []) ~n
+            ~witness_size:channels ~watchers_per_channel ()
         with
         | exception Schedule.Divergence _ -> diverged := true
         | sched ->
@@ -92,7 +95,7 @@ let run ?(ame_params = Params.default) ?channels_used ~cfg ~pairs ~messages ~adv
     in
     play ()
   in
-  let engine = Radio.Engine.run cfg ~adversary:(adversary board) (Array.make n node_body) in
+  let engine = Radio.Engine.run_nodes cfg ~adversary:(adversary board) node_body in
   let delivered = Det.bindings delivered_cells in
   let failed =
     List.sort Rgraph.Digraph.edge_compare

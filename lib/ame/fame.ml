@@ -69,6 +69,10 @@ let run ?(ame_params = Params.default) ?channels_used ?(feedback_mode = Sequenti
     Game.State.create_dense ~proposal_size:channels_used ~min_proposal:(budget + 1) graph
       ~t:budget
   in
+  (* One claimed-node workspace for every schedule build of this run: all
+     node fibers interleave on the engine's domain and a build never spans
+     a suspension, so the builds cannot overlap. *)
+  let sched_scratch = Schedule.make_scratch () in
   let node_body (ctx : Radio.Engine.ctx) =
     let id = ctx.id in
     let state = ref initial_state in
@@ -89,7 +93,8 @@ let run ?(ame_params = Params.default) ?channels_used ?(feedback_mode = Sequenti
         in
         let witness_size = if tree_this_move then budget + 1 else channels in
         (match
-           Schedule.build ~proposal ~surrogates ~n ~witness_size ~watchers_per_channel
+           Schedule.build ~scratch:sched_scratch ~proposal ~surrogates ~n ~witness_size
+             ~watchers_per_channel ()
          with
          | exception Schedule.Divergence _ -> diverged := true
          | sched ->
@@ -199,7 +204,7 @@ let run ?(ame_params = Params.default) ?channels_used ?(feedback_mode = Sequenti
       final.Game.State.starred;
     final_digests.(id) <- Buffer.contents buf
   in
-  let engine = Radio.Engine.run cfg ~adversary:(adversary board) (Array.make n node_body) in
+  let engine = Radio.Engine.run_nodes cfg ~adversary:(adversary board) node_body in
   let digest0 = final_digests.(0) in
   Array.iter (fun h -> if h <> digest0 then diverged := true) final_digests;
   let delivered = Det.bindings delivered_cells in

@@ -45,7 +45,7 @@ let run ?(max_rounds = 200_000) ~cfg ~rumors ~adversary () =
         completion_round := Some !r
     done
   in
-  let engine = Radio.Engine.run cfg ~adversary (Array.make n node_body) in
+  let engine = Radio.Engine.run_nodes cfg ~adversary node_body in
   let coverage = Array.map Hashtbl.length known in
   let fake_rumors_accepted =
     Array.fold_left

@@ -31,7 +31,6 @@ let simulating_adversary rng ~pairs ~channels ~budget =
 
 let run ~rounds ~cfg ~pairs ~messages ~adversary () =
   let channels = cfg.Radio.Config.channels in
-  let n = cfg.Radio.Config.n in
   let first_claim : (int * int, string) Hashtbl.t = Hashtbl.create 16 in
   let node_body (ctx : Radio.Engine.ctx) =
     let id = ctx.id in
@@ -54,7 +53,7 @@ let run ~rounds ~cfg ~pairs ~messages ~adversary () =
       | [], [] -> Radio.Engine.idle ()
     done
   in
-  let engine = Radio.Engine.run cfg ~adversary (Array.make n node_body) in
+  let engine = Radio.Engine.run_nodes cfg ~adversary node_body in
   let verdicts =
     List.map
       (fun pair ->

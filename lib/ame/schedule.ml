@@ -9,22 +9,35 @@ type t = {
   witnesses : int array array;
 }
 
-let build ~proposal ~surrogates ~n ~witness_size ~watchers_per_channel =
+(* Claimed-node scratch: a generation-stamped int array, so reusing it
+   across builds costs one counter bump instead of an O(n) clear.  [build]
+   runs once per node per move; before this was reusable, the per-build
+   [Bytes.make n] was the dominant allocation of the f-AME epoch loop at
+   population scale (n * moves large blocks straight into the major heap). *)
+type scratch = { mutable stamps : int array; mutable gen : int }
+
+let make_scratch () = { stamps = [||]; gen = 0 }
+
+let build ?scratch ~proposal ~surrogates ~n ~witness_size ~watchers_per_channel () =
   if watchers_per_channel < witness_size then
     invalid_arg "Schedule.build: watchers_per_channel must be >= witness_size";
   let items = Array.of_list proposal in
   let k = Array.length items in
   if k = 0 then raise (Divergence "empty proposal");
-  (* Claimed-node scratch: one byte per node.  [build] runs once per node
-     per move, so the functional Int_set it used to thread here was the
-     dominant allocation of the f-AME epoch loop. *)
-  let used = Bytes.make n '\000' in
+  let scratch = match scratch with Some s -> s | None -> make_scratch () in
+  if Array.length scratch.stamps < n then begin
+    scratch.stamps <- Array.make n 0;
+    scratch.gen <- 0
+  end;
+  scratch.gen <- scratch.gen + 1;
+  let used = scratch.stamps in
+  let gen = scratch.gen in
   (* radio-lint: allow partial-array-unsafe — v < n guarded on the same line *)
-  let is_used v = v < n && Bytes.unsafe_get used v <> '\000' in
+  let is_used v = v < n && Array.unsafe_get used v = gen in
   let claim v =
     if is_used v then raise (Divergence (Printf.sprintf "node %d claimed twice" v));
     (* radio-lint: allow partial-array-unsafe — 0 <= v < n guarded on the same line *)
-    if v >= 0 && v < n then Bytes.unsafe_set used v '\001'
+    if v >= 0 && v < n then Array.unsafe_set used v gen
   in
   (* Pass 1: receivers (edge destinations) and node-item broadcasters are
      forced; claim them before choosing edge broadcasters. *)
@@ -69,13 +82,13 @@ let build ~proposal ~surrogates ~n ~witness_size ~watchers_per_channel =
   let next_free = ref 0 in
   let take_free () =
     (* radio-lint: allow partial-array-unsafe — !next_free < n guarded on the same line *)
-    while !next_free < n && Bytes.unsafe_get used !next_free <> '\000' do
+    while !next_free < n && Array.unsafe_get used !next_free = gen do
       incr next_free
     done;
     if !next_free >= n then raise (Divergence "not enough nodes for watchers");
     let v = !next_free in
     (* radio-lint: allow partial-array-unsafe — v < n established by the raise above *)
-    Bytes.unsafe_set used v '\001';
+    Array.unsafe_set used v gen;
     v
   in
   for c = 0 to k - 1 do

@@ -27,18 +27,32 @@ type t = {
   witnesses : int array array;  (** per used channel: first C watchers = W[c] *)
 }
 
+type scratch
+(** Reusable claimed-node workspace for {!build}: a generation-stamped int
+    array, grown on demand, so consecutive builds cost O(proposal) instead
+    of an O(n) allocation + clear each.  A scratch must not be shared by
+    builds that can overlap — use one per concurrent runner (fibers of one
+    engine run interleave on a single domain and never overlap, so one
+    scratch per protocol run is safe). *)
+
+val make_scratch : unit -> scratch
+
 val build :
+  ?scratch:scratch ->
   proposal:Game.State.item list ->
   surrogates:(int -> int list) ->
   n:int ->
   witness_size:int ->
   watchers_per_channel:int ->
+  unit ->
   t
 (** [surrogates v] must list, in deterministic order, the nodes known to
     hold v's message vector (the watchers of the round in which v was
     starred).  [witness_size] is C, the total channel count: each witness
     set W[c] must be able to occupy every channel during feedback, so
-    [watchers_per_channel >= witness_size] is required. *)
+    [watchers_per_channel >= witness_size] is required.  Passing [?scratch]
+    reuses the claimed-node workspace across builds; the result is
+    identical either way. *)
 
 type role =
   | Broadcast of { channel : int; owner : int }

@@ -86,7 +86,7 @@ let run ~rounds ~cfg ~sender ~receiver ~eavesdrop_channels ?(jam_budget = 0) () 
             |> List.map (fun chan -> { Radio.Adversary.chan; spoof = None }));
       observe = (fun _ -> ()); observes = false }
   in
-  let engine = Radio.Engine.run cfg ~adversary (Array.make n node_body) in
+  let engine = Radio.Engine.run_nodes cfg ~adversary node_body in
   (* Public reconciliation: the receiver's round indices select the agreed
      values (indices are public, contents are not).  The eavesdropper knows
      an agreed value iff the channel the sender used that round is in its

@@ -30,7 +30,7 @@ let agreement_trial ~beta ~t ~n ~seed =
   let adversary =
     Radio.Adversary.random_jammer (Prng.Rng.create (Int64.add seed 17L)) ~channels ~budget:t
   in
-  let result = Radio.Engine.run cfg ~adversary (Array.make n node_body) in
+  let result = Radio.Engine.run_nodes cfg ~adversary node_body in
   let agreed = Array.for_all (fun d -> d = truth_set) outputs in
   (agreed, result.Radio.Engine.rounds_used)
 

@@ -113,7 +113,7 @@ let run ~cfg ~pairwise ~proposals ~complete_leaders ~excluded ~part2_reps ~part3
     leader_keys_out.(id) <- List.sort keyed_compare !my_leader_keys;
     reports_out.(id) <- !my_reports
   in
-  let engine = Radio.Engine.run cfg ~adversary (Array.make n node_body) in
+  let engine = Radio.Engine.run_nodes cfg ~adversary node_body in
   (* Agreement rule, evaluated per node on its own observations. *)
   let adopt id =
     let known = leader_keys_out.(id) in

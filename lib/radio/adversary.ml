@@ -7,7 +7,7 @@ type t = {
   observes : bool;
 }
 
-let validate ~channels ~budget strikes =
+let validate_nonempty ~channels ~budget strikes =
   (* Over-budget strategies are clamped, not rejected: the model simply
      ignores transmissions beyond the budget (dropped from the end, like
      {!energy_bounded}).  Invalid or duplicate channels are still adversary
@@ -31,6 +31,15 @@ let validate ~channels ~budget strikes =
   in
   check strikes;
   strikes
+
+let validate ~channels ~budget strikes =
+  match strikes with
+  | [] ->
+    (* Null path: the common case on every quiet round and every round of
+       the null adversary.  Short-circuiting here keeps it allocation-free
+       (the clamp/duplicate machinery is never entered). *)
+    []
+  | _ :: _ -> validate_nonempty ~channels ~budget strikes
 
 let no_observe (_ : Transcript.round_record) = ()
 

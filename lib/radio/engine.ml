@@ -4,10 +4,13 @@ type obs = Received of Frame.t | Nothing
 
 (* One effect constructor per action keeps the perform path lean: [EIdle] is
    a constant (no allocation at all), [EListen]/[ETransmit] are a single
-   block each — there is no wrapper [action] box on the hot path. *)
+   block each — there is no wrapper [action] box on the hot path.
+   [EIdleFor] carries the whole idle run in one suspension so the sparse
+   engine can park the fiber until its wake round. *)
 type _ Effect.t += ETransmit : int * Frame.t -> obs Effect.t
 type _ Effect.t += EListen : int -> obs Effect.t
 type _ Effect.t += EIdle : obs Effect.t
+type _ Effect.t += EIdleFor : int -> obs Effect.t
 type _ Effect.t += Round : int Effect.t
 
 let transmit ~chan frame =
@@ -24,19 +27,13 @@ let idle () =
   | Received _ | Nothing -> ()
 
 let idle_for k =
-  for _ = 1 to k do
-    idle ()
-  done
+  if k > 0 then
+    match Effect.perform (EIdleFor k) with
+    | Received _ | Nothing -> ()
 
 let current_round () = Effect.perform Round
 
 exception Aborted
-
-type fiber =
-  | WaitT of int * Frame.t * (obs, unit) Effect.Deep.continuation
-  | WaitL of int * (obs, unit) Effect.Deep.continuation
-  | WaitI of (obs, unit) Effect.Deep.continuation
-  | Finished
 
 type result = {
   stats : Transcript.Stats.t;
@@ -49,24 +46,39 @@ type result = {
    sentinel is the sender index, so the dummy is never read. *)
 let dummy_frame = Frame.Plain { src = -1; dst = -1; body = "" }
 
-(* The round loop is the simulator's hottest path: Figure 3's large-channel
-   regimes run it with C = 2t^2 channels for hundreds of thousands of
-   rounds.  Channel resolution is a single O(T) harvest pass into reusable
+(* ------------------------------------------------------------------ *)
+(* Reference engine: the original dense round loop.                    *)
+(* ------------------------------------------------------------------ *)
+
+type fiber =
+  | WaitT of int * Frame.t * (obs, unit) Effect.Deep.continuation
+  | WaitL of int * (obs, unit) Effect.Deep.continuation
+  | WaitI of (obs, unit) Effect.Deep.continuation
+  | WaitS of int * (obs, unit) Effect.Deep.continuation
+      (** sleeping; the int counts remaining idle rounds, current included *)
+  | Finished
+
+(* The original execution core, kept as the semantic oracle for the sparse
+   engine (the Dense-vs-sparse pattern from the graph kernel): every round
+   scans all n fibers, so work is proportional to population rather than
+   activity.  [EIdleFor k] is handled as a sleep countdown observationally
+   identical to k successive [EIdle] suspensions.
+
+   Channel resolution is a single O(T) harvest pass into reusable
    per-channel accumulators followed by one pass over the channels actually
-   touched this round — the per-channel [List.filter]/[List.find_opt]
-   formulation was O(C*T) per round.  When neither the transcript nor the
-   adversary consumes round records ([record_transcript] off and
-   [Adversary.observes] false), the cons-heavy record lists are never
-   materialized and the outcome array is reused across rounds.
+   touched this round.  When neither the transcript nor the adversary
+   consumes round records ([record_transcript] off and [Adversary.observes]
+   false), the cons-heavy record lists are never materialized and the
+   outcome array is reused across rounds.
 
    Allocation discipline: every suspension handler closure is hoisted and
    shared across fibers (the pending-action scratch cells below are filled
    by [effc] immediately before the matching closure runs — fibers are
    strictly sequential within the domain, so one set of cells suffices). *)
-let run cfg ~adversary nodes =
+let run_reference cfg ~adversary nodes =
   let n = cfg.Config.n in
   if Array.length nodes <> n then
-    invalid_arg "Engine.run: node array length must equal cfg.n";
+    invalid_arg "Engine.run_reference: node array length must equal cfg.n";
   let channels = cfg.Config.channels in
   let round_counter = ref 0 in
   let fibers = Array.make n Finished in
@@ -89,6 +101,11 @@ let run cfg ~adversary nodes =
     Some
       (fun (k : (obs, unit) Effect.Deep.continuation) ->
         Array.set fibers !pending_i (WaitI k))
+  in
+  let some_sleep =
+    Some
+      (fun (k : (obs, unit) Effect.Deep.continuation) ->
+        Array.set fibers !pending_i (WaitS (!pending_chan, k)))
   in
   let some_round =
     Some
@@ -115,6 +132,10 @@ let run cfg ~adversary nodes =
             | EIdle ->
               pending_i := i;
               some_idle
+            | EIdleFor k ->
+              pending_i := i;
+              pending_chan := k;
+              some_sleep
             | Round -> some_round
             | _ -> None) }
     in
@@ -122,7 +143,9 @@ let run cfg ~adversary nodes =
   in
   Array.iteri
     (fun i body ->
-      let ctx = { id = i; rng = Prng.Rng.split_at (Prng.Rng.create cfg.Config.seed) (i + 1); cfg } in
+      let ctx =
+        { id = i; rng = Prng.Rng.split_at (Prng.Rng.create cfg.Config.seed) (i + 1); cfg }
+      in
       start i body ctx)
     nodes;
   let stats = Transcript.Stats.create () in
@@ -197,7 +220,7 @@ let run cfg ~adversary nodes =
         touch chan;
         Array.set listeners_on chan (Array.get listeners_on chan + 1);
         if record_wanted then listeners := (i, chan) :: !listeners
-      | WaitI _ -> incr waiting
+      | WaitI _ | WaitS _ -> incr waiting
     done;
     if !waiting = 0 then running := false
     else begin
@@ -293,21 +316,566 @@ let run cfg ~adversary nodes =
         | WaitI k ->
           fibers.(i) <- Finished;
           Effect.Deep.continue k Nothing
+        | WaitS (r, k) ->
+          if r <= 1 then begin
+            fibers.(i) <- Finished;
+            Effect.Deep.continue k Nothing
+          end
+          else fibers.(i) <- WaitS (r - 1, k)
       done
     end
   done;
   let completed =
-    Array.for_all (function Finished -> true | WaitT _ | WaitL _ | WaitI _ -> false) fibers
+    Array.for_all
+      (function Finished -> true | WaitT _ | WaitL _ | WaitI _ | WaitS _ -> false)
+      fibers
   in
   if not completed then
     Array.iter
       (fun fiber ->
         match fiber with
         | Finished -> ()
-        | WaitT (_, _, k) | WaitL (_, k) | WaitI k -> (
+        | WaitT (_, _, k) | WaitL (_, k) | WaitI k | WaitS (_, k) -> (
           try Effect.Deep.discontinue k Aborted with Aborted -> ()))
       fibers;
   { stats; transcript = List.rev !transcript; completed; rounds_used = !round_counter }
 
-let run_nodes cfg ~adversary body =
-  run cfg ~adversary (Array.make cfg.Config.n body)
+(* ------------------------------------------------------------------ *)
+(* Sparse event-driven engine (the default core).                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Suspended-continuation slot: a two-constructor variant instead of the
+   reference's 4-5 word fiber records, so each suspension allocates one
+   two-word block beside the runtime continuation itself. *)
+type kont = NoK | K of (obs, unit) Effect.Deep.continuation
+
+(* Per-shard channel accumulators for the intra-round sharded harvest.
+   One scratch per shard, written by exactly one pool task per round and
+   merged serially in shard order afterwards, which reproduces the serial
+   id-order harvest byte for byte (shards are contiguous id ranges of the
+   sorted active list). *)
+type shard_scratch = {
+  s_tx : int array;
+  s_first : int array;
+  s_frame : Frame.t array;
+  s_listen : int array;
+  s_touched : int array;
+  mutable s_n_touched : int;
+  mutable s_tx_total : int;
+  mutable s_max_payload : int;
+}
+
+(* Minimum active-node count before a round's harvest is sharded across the
+   pool: below this the per-task queue overhead beats the scan. *)
+let default_shard_min = 16384
+
+(* State codes for the per-node SoA byte array: 'f' finished, 't' transmit
+   declared, 'l' listen declared, 'w' idle (one round) or parked sleeper. *)
+
+(* The sparse core.  Three ideas over [run_reference]:
+
+   1. Sparse event-driven rounds — the engine keeps a sorted active list
+      (double-buffered [cur]/[nxt]) of node ids suspended on this round's
+      actions plus a wake queue (hash of round -> ids) for fibers parked by
+      [idle_for k]; a round's cost is O(active + touched channels), not
+      O(n).  With the null adversary and no recording, runs of rounds with
+      an empty active list are fast-forwarded to the next wake round in one
+      step.
+
+   2. Struct-of-arrays node state — action codes live in one [Bytes.t],
+      channels/frames/continuations in flat arrays indexed by node id, so
+      the harvest is a cache-linear scan over active indices instead of
+      chasing per-fiber heap records.
+
+   3. Intra-round sharding — when a pool is available and the active list
+      is large, the harvest pass is partitioned into contiguous shards with
+      per-shard accumulators merged in shard order, preserving the serial
+      engine's byte-identical transcripts for every [--jobs].
+
+   Determinism contract unchanged: fibers are started, resumed, and aborted
+   in strictly ascending node-id order, and every run is a pure function of
+   the configuration seed. *)
+let run_core ~pool ~shard_min cfg ~adversary ~get_body =
+  let n = cfg.Config.n in
+  let channels = cfg.Config.channels in
+  let max_rounds = cfg.Config.max_rounds in
+  let round_counter = ref 0 in
+  (* SoA node state. *)
+  let st = Bytes.make n 'f' in
+  let chan_of = Array.make n 0 in
+  let frame_of = Array.make n dummy_frame in
+  let konts = Array.make n NoK in
+  (* Double-buffered sorted active lists. *)
+  let cur = ref (Array.make (max n 1) 0) in
+  let n_cur = ref 0 in
+  let nxt = ref (Array.make (max n 1) 0) in
+  let n_nxt = ref 0 in
+  let started = ref false in
+  let live = ref 0 in
+  (* Wake queue: absolute round -> parked node ids (unordered; sorted when
+     popped). *)
+  let wake : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let push i =
+    if !started then begin
+      (!nxt).(!n_nxt) <- i;
+      incr n_nxt
+    end
+    else begin
+      (!cur).(!n_cur) <- i;
+      incr n_cur
+    end
+  in
+  (* Scratch cells carrying the perform's payload from [effc] to the shared
+     suspension closures; [running_i] names the fiber currently executing,
+     so one hoisted handler serves every fiber. *)
+  let running_i = ref 0 in
+  let pending_chan = ref 0 in
+  let pending_frame = ref dummy_frame in
+  let some_transmit =
+    Some
+      (fun (k : (obs, unit) Effect.Deep.continuation) ->
+        let i = !running_i in
+        Bytes.set st i 't';
+        chan_of.(i) <- !pending_chan;
+        frame_of.(i) <- !pending_frame;
+        konts.(i) <- K k;
+        push i)
+  in
+  let some_listen =
+    Some
+      (fun (k : (obs, unit) Effect.Deep.continuation) ->
+        let i = !running_i in
+        Bytes.set st i 'l';
+        chan_of.(i) <- !pending_chan;
+        konts.(i) <- K k;
+        push i)
+  in
+  let some_idle =
+    Some
+      (fun (k : (obs, unit) Effect.Deep.continuation) ->
+        let i = !running_i in
+        Bytes.set st i 'w';
+        konts.(i) <- K k;
+        push i)
+  in
+  let some_sleep =
+    Some
+      (fun (k : (obs, unit) Effect.Deep.continuation) ->
+        let i = !running_i in
+        Bytes.set st i 'w';
+        konts.(i) <- K k;
+        let d = !pending_chan in
+        if d = 1 then push i
+        else begin
+          (* Wake at the end of round [declare + d - 1]; [round_counter]
+             already names the fiber's next round at suspension time. *)
+          let wake_round = !round_counter + d - 1 in
+          let prev =
+            match Hashtbl.find_opt wake wake_round with Some ids -> ids | None -> []
+          in
+          Hashtbl.replace wake wake_round (i :: prev)
+        end)
+  in
+  let some_round =
+    Some
+      (fun (k : (int, unit) Effect.Deep.continuation) ->
+        Effect.Deep.continue k !round_counter)
+  in
+  let handler =
+    { Effect.Deep.retc =
+        (fun () ->
+          let i = !running_i in
+          Bytes.set st i 'f';
+          konts.(i) <- NoK;
+          decr live);
+      exnc =
+        (fun e ->
+          let i = !running_i in
+          Bytes.set st i 'f';
+          konts.(i) <- NoK;
+          decr live;
+          match e with Aborted -> () | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) :
+             ((a, unit) Effect.Deep.continuation -> unit) option ->
+          match eff with
+          | ETransmit (chan, frame) ->
+            pending_chan := chan;
+            pending_frame := frame;
+            some_transmit
+          | EListen chan ->
+            pending_chan := chan;
+            some_listen
+          | EIdle -> some_idle
+          | EIdleFor d ->
+            pending_chan := d;
+            some_sleep
+          | Round -> some_round
+          | _ -> None) }
+  in
+  for i = 0 to n - 1 do
+    let ctx =
+      { id = i; rng = Prng.Rng.split_at (Prng.Rng.create cfg.Config.seed) (i + 1); cfg }
+    in
+    incr live;
+    running_i := i;
+    Effect.Deep.match_with (get_body i) ctx handler
+  done;
+  started := true;
+  let stats = Transcript.Stats.create () in
+  let transcript = ref [] in
+  let validate_chan chan =
+    if chan < 0 || chan >= channels then
+      invalid_arg (Printf.sprintf "Engine: action on invalid channel %d" chan)
+  in
+  let tx_count = Array.make channels 0 in
+  let first_sender = Array.make channels (-1) in
+  let first_frame = Array.make channels dummy_frame in
+  let listeners_on = Array.make channels 0 in
+  let struck = Array.make channels false in
+  let spoof_on : Frame.t option array = Array.make channels None in
+  let touched = Array.make channels 0 in
+  let n_touched = ref 0 in
+  let[@inline] touch chan =
+    if
+      Array.get tx_count chan = 0
+      && Array.get listeners_on chan = 0
+      && not (Array.get struck chan)
+    then begin
+      Array.set touched !n_touched chan;
+      incr n_touched
+    end
+  in
+  let shared_outcomes = Array.make channels Transcript.Empty in
+  (* Per-channel observation cache: one shared [Received] per delivered
+     channel per round, handed to every listener at resume time (the frame
+     itself was already shared; now the wrapper is too). *)
+  let round_obs : obs array = Array.make channels Nothing in
+  let record_wanted = cfg.Config.record_transcript || adversary.Adversary.observes in
+  (* Empty-round fast-forward is sound only when nothing can observe the
+     skipped rounds: no recording, and the adversary is the stateless null
+     strategy (physical equality — [Adversary.t] is a record of closures). *)
+  let fast_forward_ok = (not record_wanted) && adversary == Adversary.null in
+  let honest_tx = ref [] and listeners = ref [] in
+  let tx_total = ref 0 in
+  let strike_count = ref 0 in
+  let apply_strike s =
+    incr strike_count;
+    touch s.Adversary.chan;
+    struck.(s.Adversary.chan) <- true;
+    spoof_on.(s.Adversary.chan) <- s.Adversary.spoof
+  in
+  let harvest_serial () =
+    let arr = !cur in
+    for j = 0 to !n_cur - 1 do
+      let i = arr.(j) in
+      match Bytes.get st i with
+      | 't' ->
+        let chan = chan_of.(i) in
+        validate_chan chan;
+        incr tx_total;
+        touch chan;
+        let count = Array.get tx_count chan in
+        Array.set tx_count chan (count + 1);
+        let frame = frame_of.(i) in
+        if count = 0 then begin
+          Array.set first_sender chan i;
+          Array.set first_frame chan frame
+        end;
+        let payload = Frame.payload_size frame in
+        if payload > stats.Transcript.Stats.max_payload then
+          stats.Transcript.Stats.max_payload <- payload;
+        if record_wanted then honest_tx := (i, chan, frame) :: !honest_tx
+      | 'l' ->
+        let chan = chan_of.(i) in
+        validate_chan chan;
+        touch chan;
+        Array.set listeners_on chan (Array.get listeners_on chan + 1);
+        if record_wanted then listeners := (i, chan) :: !listeners
+      | _ -> ()
+    done
+  in
+  (* Sharded harvest.  Each pool task scans one contiguous chunk of the
+     sorted active list into its own scratch; the merge below runs serially
+     in shard order after the join, so globally-first senders and the
+     touched order match the serial scan exactly. *)
+  let scratch : shard_scratch array ref = ref [||] in
+  let shard_ids : int list ref = ref [] in
+  let harvest_shard sc lo hi =
+    let arr = !cur in
+    for j = lo to hi - 1 do
+      let i = arr.(j) in
+      match Bytes.get st i with
+      | 't' ->
+        let chan = chan_of.(i) in
+        validate_chan chan;
+        sc.s_tx_total <- sc.s_tx_total + 1;
+        if sc.s_tx.(chan) = 0 && sc.s_listen.(chan) = 0 then begin
+          sc.s_touched.(sc.s_n_touched) <- chan;
+          sc.s_n_touched <- sc.s_n_touched + 1
+        end;
+        let count = sc.s_tx.(chan) in
+        sc.s_tx.(chan) <- count + 1;
+        if count = 0 then begin
+          sc.s_first.(chan) <- i;
+          sc.s_frame.(chan) <- frame_of.(i)
+        end;
+        let payload = Frame.payload_size frame_of.(i) in
+        if payload > sc.s_max_payload then sc.s_max_payload <- payload
+      | 'l' ->
+        let chan = chan_of.(i) in
+        validate_chan chan;
+        if sc.s_tx.(chan) = 0 && sc.s_listen.(chan) = 0 then begin
+          sc.s_touched.(sc.s_n_touched) <- chan;
+          sc.s_n_touched <- sc.s_n_touched + 1
+        end;
+        sc.s_listen.(chan) <- sc.s_listen.(chan) + 1
+      | _ -> ()
+    done
+  in
+  let merge_shard sc =
+    for j = 0 to sc.s_n_touched - 1 do
+      let chan = sc.s_touched.(j) in
+      touch chan;
+      let stx = sc.s_tx.(chan) in
+      if stx > 0 && Array.get tx_count chan = 0 then begin
+        Array.set first_sender chan sc.s_first.(chan);
+        Array.set first_frame chan sc.s_frame.(chan)
+      end;
+      Array.set tx_count chan (Array.get tx_count chan + stx);
+      Array.set listeners_on chan (Array.get listeners_on chan + sc.s_listen.(chan));
+      sc.s_tx.(chan) <- 0;
+      sc.s_listen.(chan) <- 0;
+      sc.s_first.(chan) <- -1;
+      sc.s_frame.(chan) <- dummy_frame
+    done;
+    sc.s_n_touched <- 0;
+    tx_total := !tx_total + sc.s_tx_total;
+    sc.s_tx_total <- 0;
+    if sc.s_max_payload > stats.Transcript.Stats.max_payload then
+      stats.Transcript.Stats.max_payload <- sc.s_max_payload;
+    sc.s_max_payload <- 0
+  in
+  let harvest_sharded p =
+    let nshards = Parallel.Pool.size p in
+    if Array.length !scratch = 0 then begin
+      scratch :=
+        Array.init nshards (fun _ ->
+            { s_tx = Array.make channels 0;
+              s_first = Array.make channels (-1);
+              s_frame = Array.make channels dummy_frame;
+              s_listen = Array.make channels 0;
+              s_touched = Array.make channels 0;
+              s_n_touched = 0;
+              s_tx_total = 0;
+              s_max_payload = 0 });
+      shard_ids := List.init nshards Fun.id
+    end;
+    let total = !n_cur in
+    let chunk = (total + nshards - 1) / nshards in
+    ignore
+      (Parallel.Pool.map_ordered p
+         (fun s ->
+           let lo = s * chunk in
+           let hi = min total (lo + chunk) in
+           (* Each task writes only scratch slot [s]; the join below is the
+              barrier before the serial merge. *)
+           if lo < hi then harvest_shard (Array.get !scratch s) lo hi)
+         !shard_ids);
+    Array.iter merge_shard !scratch
+  in
+  let[@inline] resume_one i =
+    match konts.(i) with
+    | NoK -> ()
+    | K k ->
+      konts.(i) <- NoK;
+      let obs =
+        match Bytes.get st i with
+        | 'l' -> Array.get round_obs chan_of.(i)
+        | 't' ->
+          (* Drop the frame reference so the engine does not retain every
+             node's last payload for the whole run. *)
+          frame_of.(i) <- dummy_frame;
+          Nothing
+        | _ -> Nothing
+      in
+      running_i := i;
+      Effect.Deep.continue k obs
+  in
+  (* Resume the active list merged with this round's wakers, in ascending
+     node-id order (the order is observable: node bodies may share state). *)
+  let resume_round round =
+    let wakers =
+      match Hashtbl.find_opt wake round with
+      | None -> [||]
+      | Some ids ->
+        Hashtbl.remove wake round;
+        let a = Array.of_list ids in
+        Array.sort (fun a b -> Int.compare a b) a;
+        a
+    in
+    let ca = !cur and cn = !n_cur in
+    let wn = Array.length wakers in
+    let ci = ref 0 and wi = ref 0 in
+    while !ci < cn || !wi < wn do
+      let i =
+        if !ci < cn && (!wi >= wn || ca.(!ci) < wakers.(!wi)) then begin
+          let v = ca.(!ci) in
+          incr ci;
+          v
+        end
+        else begin
+          let v = wakers.(!wi) in
+          incr wi;
+          v
+        end
+      in
+      resume_one i
+    done
+  in
+  let swap_active () =
+    let tmp = !cur in
+    cur := !nxt;
+    nxt := tmp;
+    n_cur := !n_nxt;
+    n_nxt := 0
+  in
+  let min_wake () =
+    (* A pure minimum over the keys: the unspecified iteration order cannot
+       change the result, so no sorted Det.fold detour is needed here. *)
+    (* radio-lint: allow nondet-hashtbl-order — min over keys is order-independent *)
+    Hashtbl.fold (fun r _ acc -> if acc < 0 || r < acc then r else acc) wake (-1)
+  in
+  while !live > 0 && !round_counter < max_rounds do
+    let round = !round_counter in
+    if fast_forward_ok && !n_cur = 0 then begin
+      (* Every live fiber is parked: skip straight to the earliest wake
+         round (each skipped round is an all-idle round of the reference
+         engine — it counts toward the stats but resolves nothing). *)
+      let m = min_wake () in
+      let last = if m < 0 then max_rounds - 1 else min m (max_rounds - 1) in
+      stats.Transcript.Stats.rounds <-
+        stats.Transcript.Stats.rounds + (last - round + 1);
+      round_counter := last + 1;
+      resume_round last;
+      swap_active ()
+    end
+    else begin
+      (* 1. Harvest declared actions over the active list. *)
+      honest_tx := [];
+      listeners := [];
+      tx_total := 0;
+      (match pool with
+      | Some p
+        when (not record_wanted) && !n_cur >= shard_min && Parallel.Pool.size p > 1
+        ->
+        harvest_sharded p
+      | _ -> harvest_serial ());
+      (* 2. Adversary commits its strikes without seeing this round's
+         choices. *)
+      let strikes =
+        Adversary.validate ~channels ~budget:cfg.Config.t
+          (adversary.Adversary.act ~round)
+      in
+      strike_count := 0;
+      List.iter apply_strike strikes;
+      (* 3. Resolve the touched channels; accumulators reset inline, but
+         the touched list and [round_obs] survive until after the resume
+         pass below. *)
+      let outcomes =
+        if record_wanted then Array.make channels Transcript.Empty else shared_outcomes
+      in
+      let jammed_this_round = ref false in
+      for j = 0 to !n_touched - 1 do
+        let chan = Array.get touched j in
+        let honest = Array.get tx_count chan in
+        let outcome =
+          if Array.get struck chan then
+            if honest = 0 then
+              match Array.get spoof_on chan with
+              | Some frame -> Transcript.Delivered { origin = Transcript.Adversarial; frame }
+              | None ->
+                (* A lone jam: energy but no decodable frame. *)
+                Transcript.Collision { transmitters = 1; jammed = true }
+            else Transcript.Collision { transmitters = honest + 1; jammed = true }
+          else if honest = 0 then Transcript.Empty
+          else if honest = 1 then
+            Transcript.Delivered
+              { origin = Transcript.Honest (Array.get first_sender chan);
+                frame = Array.get first_frame chan }
+          else Transcript.Collision { transmitters = honest; jammed = false }
+        in
+        Array.set outcomes chan outcome;
+        (match outcome with
+         | Transcript.Empty -> ()
+         | Transcript.Delivered { origin; frame } ->
+           Array.set round_obs chan (Received frame);
+           let hearers = Array.get listeners_on chan in
+           stats.Transcript.Stats.deliveries <- stats.Transcript.Stats.deliveries + hearers;
+           (match origin with
+            | Transcript.Adversarial ->
+              stats.Transcript.Stats.spoofed_deliveries <-
+                stats.Transcript.Stats.spoofed_deliveries + hearers
+            | Transcript.Honest _ -> ())
+         | Transcript.Collision { jammed; _ } ->
+           stats.Transcript.Stats.collisions <- stats.Transcript.Stats.collisions + 1;
+           if jammed then jammed_this_round := true);
+        Array.set tx_count chan 0;
+        Array.set first_sender chan (-1);
+        Array.set first_frame chan dummy_frame;
+        Array.set listeners_on chan 0;
+        Array.set struck chan false;
+        Array.set spoof_on chan None
+      done;
+      stats.Transcript.Stats.rounds <- stats.Transcript.Stats.rounds + 1;
+      stats.Transcript.Stats.honest_transmissions <-
+        stats.Transcript.Stats.honest_transmissions + !tx_total;
+      stats.Transcript.Stats.strikes <- stats.Transcript.Stats.strikes + !strike_count;
+      if !jammed_this_round then
+        stats.Transcript.Stats.jammed_rounds <- stats.Transcript.Stats.jammed_rounds + 1;
+      if record_wanted then begin
+        let record =
+          { Transcript.round;
+            honest_tx = List.rev !honest_tx;
+            listeners = List.rev !listeners;
+            strikes = List.map (fun s -> (s.Adversary.chan, s.Adversary.spoof)) strikes;
+            outcomes }
+        in
+        if cfg.Config.record_transcript then transcript := record :: !transcript;
+        if adversary.Adversary.observes then adversary.Adversary.observe record
+      end;
+      incr round_counter;
+      (* 4. Resume actives and wakers in node-id order, then clear the
+         per-round observation cache. *)
+      resume_round round;
+      for j = 0 to !n_touched - 1 do
+        Array.set round_obs (Array.get touched j) Nothing
+      done;
+      n_touched := 0;
+      swap_active ()
+    end
+  done;
+  let completed = !live = 0 in
+  if not completed then
+    for i = 0 to n - 1 do
+      match konts.(i) with
+      | NoK -> ()
+      | K k ->
+        konts.(i) <- NoK;
+        running_i := i;
+        (try Effect.Deep.discontinue k Aborted with Aborted -> ())
+    done;
+  { stats; transcript = List.rev !transcript; completed; rounds_used = !round_counter }
+
+let run ?pool ?(shard_min = default_shard_min) cfg ~adversary nodes =
+  let n = cfg.Config.n in
+  if Array.length nodes <> n then
+    invalid_arg "Engine.run: node array length must equal cfg.n";
+  let pool = match pool with Some _ as p -> p | None -> Parallel.ambient_pool () in
+  run_core ~pool ~shard_min cfg ~adversary ~get_body:(fun i -> Array.get nodes i)
+
+let run_nodes ?pool ?(shard_min = default_shard_min) cfg ~adversary body =
+  (* One shared body closure, indexed by [ctx.id] — no n-length array of
+     identical closures. *)
+  let pool = match pool with Some _ as p -> p | None -> Parallel.ambient_pool () in
+  run_core ~pool ~shard_min cfg ~adversary ~get_body:(fun _ -> body)

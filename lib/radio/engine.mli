@@ -11,7 +11,17 @@
     body calls {!transmit} / {!listen} / {!idle}, each consuming exactly one
     round, so protocol code reads like the paper's pseudocode.  The engine
     steps all fibers in node-id order, making every run a deterministic
-    function of the configuration seed. *)
+    function of the configuration seed.
+
+    Two execution cores share this interface.  The default ({!run} /
+    {!run_nodes}) is sparse and event-driven: per-node state lives in flat
+    struct-of-arrays slots, a round costs work proportional to the number
+    of {e active} nodes (fibers parked by {!idle_for} sit in a wake queue
+    until their round), and on a multi-domain pool the harvest scan of a
+    large round is sharded across domains with a deterministic in-order
+    merge.  {!run_reference} is the original dense O(n)-per-round loop,
+    kept as the semantic oracle: both cores produce byte-identical stats,
+    transcripts, and round counts for the same configuration. *)
 
 type ctx = {
   id : int;  (** this node's index in 0..n-1 *)
@@ -34,6 +44,10 @@ val idle : unit -> unit
 (** Participate in the round without transmitting or listening. *)
 
 val idle_for : int -> unit
+(** Idle for [k] consecutive rounds ([k <= 0] is a no-op).  Equivalent to
+    [k] calls of {!idle}, but a single suspension: the sparse engine parks
+    the fiber in its wake queue, so the idle span costs zero per-round
+    work. *)
 
 val current_round : unit -> int
 (** The engine's round counter.  Does not consume a round. *)
@@ -47,10 +61,36 @@ type result = {
   rounds_used : int;
 }
 
-val run : Config.t -> adversary:Adversary.t -> (ctx -> unit) array -> result
+val run :
+  ?pool:Parallel.Pool.t ->
+  ?shard_min:int ->
+  Config.t ->
+  adversary:Adversary.t ->
+  (ctx -> unit) array ->
+  result
 (** [run cfg ~adversary nodes] starts one fiber per node (the array must
     have length [cfg.n]) and drives rounds until every fiber returns.
-    Raises [Invalid_argument] on malformed node actions (bad channel). *)
+    Raises [Invalid_argument] on malformed node actions (bad channel).
 
-val run_nodes : Config.t -> adversary:Adversary.t -> (ctx -> unit) -> result
-(** Convenience: the same body for every node (it can branch on [ctx.id]). *)
+    [?pool] (default: the ambient {!Parallel.run} pool, if any) enables
+    intra-round sharding of the harvest scan; [?shard_min] (default 16384)
+    is the minimum active-node count before a round is sharded.  Sharding
+    never changes observable behaviour: per-shard accumulators are merged
+    in shard order, so stats, transcripts, and stdout are byte-identical
+    for every pool size, including none. *)
+
+val run_nodes :
+  ?pool:Parallel.Pool.t ->
+  ?shard_min:int ->
+  Config.t ->
+  adversary:Adversary.t ->
+  (ctx -> unit) ->
+  result
+(** Convenience: the same body for every node (it can branch on [ctx.id]).
+    The body closure is shared — node state is indexed by [ctx.id], so no
+    n-length array of identical closures is built. *)
+
+val run_reference : Config.t -> adversary:Adversary.t -> (ctx -> unit) array -> result
+(** The original dense execution core: scans all [n] fibers every round.
+    Kept as the reference implementation for equivalence testing; produces
+    byte-identical results to {!run} on the same inputs. *)

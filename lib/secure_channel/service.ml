@@ -119,7 +119,7 @@ let run_workload ~cfg ~key_holders ~spec ~sends ~adversary () =
           done
     done
   in
-  let engine = Radio.Engine.run cfg ~adversary (Array.make n node_body) in
+  let engine = Radio.Engine.run_nodes cfg ~adversary node_body in
   let deliveries =
     List.map
       (fun (er, sender, msg) ->

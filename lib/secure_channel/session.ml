@@ -125,7 +125,7 @@ let run_workload ~cfg ~key_holders ~spec ~mtu ~sends ~adversary () =
         else Service.idle spec)
       schedule
   in
-  let engine = Radio.Engine.run cfg ~adversary (Array.make n node_body) in
+  let engine = Radio.Engine.run_nodes cfg ~adversary node_body in
   let deliveries =
     List.map
       (fun (msg_id, sender, message, _) ->

@@ -54,7 +54,6 @@ let decode_payload payload =
   end
 
 let run_streams ~cfg ~keys ~streams ~adversary () =
-  let n = cfg.Radio.Config.n in
   (* Endpoint disjointness: each node plays one role. *)
   let seen = Hashtbl.create 16 in
   List.iter
@@ -121,7 +120,7 @@ let run_streams ~cfg ~keys ~streams ~adversary () =
         Radio.Engine.idle ()
       done
   in
-  let engine = Radio.Engine.run cfg ~adversary (Array.make n node_body) in
+  let engine = Radio.Engine.run_nodes cfg ~adversary node_body in
   let results =
     List.map
       (fun s ->

@@ -52,7 +52,7 @@ let build_basic () =
   let proposal = [ Game.State.Node 0; Game.State.Edge (1, 2); Game.State.Node 3 ] in
   let sched =
     Schedule.build ~proposal:(sched_proposal proposal) ~surrogates:(fun _ -> []) ~n:40
-      ~witness_size:3 ~watchers_per_channel:9
+      ~witness_size:3 ~watchers_per_channel:9 ()
   in
   check Alcotest.int "node broadcasts itself" 0 sched.Schedule.broadcaster.(0);
   check Alcotest.int "edge source broadcasts" 1 sched.Schedule.broadcaster.(1);
@@ -74,7 +74,7 @@ let build_uses_surrogate () =
   let proposal = [ Game.State.Edge (5, 1); Game.State.Edge (5, 2) ] in
   let sched =
     Schedule.build ~proposal ~surrogates:(fun v -> if v = 5 then [ 30; 31; 32 ] else [])
-      ~n:40 ~witness_size:2 ~watchers_per_channel:6
+      ~n:40 ~witness_size:2 ~watchers_per_channel:6 ()
   in
   check Alcotest.int "first edge keeps its source" 5 sched.Schedule.broadcaster.(0);
   check Alcotest.int "second edge gets a surrogate" 30 sched.Schedule.broadcaster.(1);
@@ -85,7 +85,7 @@ let build_divergence_on_missing_surrogate () =
   try
     ignore
       (Schedule.build ~proposal ~surrogates:(fun _ -> []) ~n:40 ~witness_size:2
-         ~watchers_per_channel:6);
+         ~watchers_per_channel:6 ());
     Alcotest.fail "expected Divergence"
   with Schedule.Divergence _ -> ()
 
@@ -94,7 +94,7 @@ let build_divergence_when_nodes_short () =
   try
     ignore
       (Schedule.build ~proposal ~surrogates:(fun _ -> []) ~n:5 ~witness_size:2
-         ~watchers_per_channel:6);
+         ~watchers_per_channel:6 ());
     Alcotest.fail "expected Divergence"
   with Schedule.Divergence _ -> ()
 
@@ -102,7 +102,7 @@ let build_deterministic () =
   let proposal = [ Game.State.Node 4; Game.State.Edge (7, 8) ] in
   let build () =
     Schedule.build ~proposal ~surrogates:(fun _ -> []) ~n:30 ~witness_size:2
-      ~watchers_per_channel:6
+      ~watchers_per_channel:6 ()
   in
   let a = build () and b = build () in
   check Alcotest.bool "identical schedules" true
@@ -113,7 +113,7 @@ let roles_cover_everyone_once () =
   let proposal = [ Game.State.Node 0; Game.State.Edge (1, 2); Game.State.Edge (3, 4) ] in
   let sched =
     Schedule.build ~proposal ~surrogates:(fun _ -> []) ~n:50 ~witness_size:3
-      ~watchers_per_channel:9
+      ~watchers_per_channel:9 ()
   in
   let broadcasters = ref 0 and receivers = ref 0 and watchers = ref 0 and off = ref 0 in
   for id = 0 to 49 do
@@ -132,7 +132,7 @@ let witness_channel_lookup () =
   let proposal = [ Game.State.Node 0; Game.State.Node 1 ] in
   let sched =
     Schedule.build ~proposal ~surrogates:(fun _ -> []) ~n:30 ~witness_size:2
-      ~watchers_per_channel:6
+      ~watchers_per_channel:6 ()
   in
   let w0 = sched.Schedule.witnesses.(1).(0) in
   check (Alcotest.option Alcotest.int) "witness channel" (Some 1)
@@ -170,7 +170,7 @@ let schedule_invariants_on_random_proposals =
       let surrogates v = if v >= 50 then [ 40; 41; 42; 43; 44; 45 ] else [] in
       match
         Schedule.build ~proposal ~surrogates ~n:120 ~witness_size:(t + 1)
-          ~watchers_per_channel:(3 * (t + 1))
+          ~watchers_per_channel:(3 * (t + 1)) ()
       with
       | exception Schedule.Divergence _ -> true (* legal outcome for adversarial inputs *)
       | sched ->

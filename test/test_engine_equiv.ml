@@ -1,0 +1,294 @@
+(* Sparse-vs-reference engine equivalence.
+
+   The sparse event-driven core (Engine.run) must be observationally
+   identical to the dense reference core (Engine.run_reference): same
+   stats, same transcript records, same round counts, same completion
+   flag, for every workload and adversary.  The sharded harvest path must
+   additionally be byte-identical for every pool size, so `--jobs` can
+   never change results. *)
+
+module Config = Radio.Config
+module Frame = Radio.Frame
+module Engine = Radio.Engine
+module Adversary = Radio.Adversary
+module Transcript = Radio.Transcript
+module Pool = Parallel.Pool
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* -- result comparison ----------------------------------------------------
+
+   [Engine.result] is ints, bools, lists, arrays, and immutable frames all
+   the way down, so structural equality is exact.  Mismatches are reported
+   field by field for debuggability. *)
+
+let stats_tuple (s : Transcript.Stats.t) =
+  ( s.Transcript.Stats.rounds,
+    s.Transcript.Stats.honest_transmissions,
+    s.Transcript.Stats.deliveries,
+    s.Transcript.Stats.spoofed_deliveries,
+    s.Transcript.Stats.collisions,
+    s.Transcript.Stats.jammed_rounds,
+    s.Transcript.Stats.strikes,
+    s.Transcript.Stats.max_payload )
+
+let explain_mismatch fmt (a : Engine.result) (b : Engine.result) =
+  if stats_tuple a.Engine.stats <> stats_tuple b.Engine.stats then
+    Format.fprintf fmt "stats differ: {%a} vs {%a};@ " Transcript.Stats.pp a.Engine.stats
+      Transcript.Stats.pp b.Engine.stats;
+  if a.Engine.rounds_used <> b.Engine.rounds_used then
+    Format.fprintf fmt "rounds_used %d vs %d;@ " a.Engine.rounds_used b.Engine.rounds_used;
+  if a.Engine.completed <> b.Engine.completed then
+    Format.fprintf fmt "completed %b vs %b;@ " a.Engine.completed b.Engine.completed;
+  if a.Engine.transcript <> b.Engine.transcript then
+    Format.fprintf fmt "transcripts differ (lengths %d vs %d)"
+      (List.length a.Engine.transcript)
+      (List.length b.Engine.transcript)
+
+let same_result a b =
+  a.Engine.stats = b.Engine.stats
+  && a.Engine.rounds_used = b.Engine.rounds_used
+  && a.Engine.completed = b.Engine.completed
+  && a.Engine.transcript = b.Engine.transcript
+
+(* -- workload generation --------------------------------------------------
+
+   Node behaviour is driven entirely by [ctx.rng]: both cores hand node i
+   the same split stream, so the scripts are identical run to run without
+   shipping a script data structure across. *)
+
+let node_body ~n ~channels ~steps (ctx : Engine.ctx) =
+  let rng = ctx.Engine.rng in
+  let id = ctx.Engine.id in
+  for _ = 1 to steps do
+    match Prng.Rng.int rng 6 with
+    | 0 | 1 ->
+      let chan = Prng.Rng.int rng channels in
+      let body = String.make (Prng.Rng.int rng 5) 'x' in
+      Engine.transmit ~chan (Frame.Plain { src = id; dst = (id + 1) mod n; body })
+    | 2 | 3 -> ignore (Engine.listen ~chan:(Prng.Rng.int rng channels))
+    | 4 -> Engine.idle ()
+    | _ -> Engine.idle_for (1 + Prng.Rng.int rng 5)
+  done
+
+(* Fresh adversary per engine run: the stateful strategies (jammer RNGs,
+   reactive traffic memory, energy budget) must start from the same state
+   on both sides. *)
+let make_adversary ~which ~channels ~budget ~seed () =
+  let rng () = Prng.Rng.create (Int64.of_int ((seed * 7919) + 13)) in
+  match which mod 6 with
+  | 0 -> Adversary.null
+  | 1 -> Adversary.sweep_jammer ~channels ~budget
+  | 2 -> Adversary.random_jammer (rng ()) ~channels ~budget
+  | 3 ->
+    Adversary.spoofer (rng ()) ~channels ~budget ~forge:(fun ~round chan ->
+        Frame.Plain { src = 0; dst = chan; body = Printf.sprintf "spoof-%d-%d" round chan })
+  | 4 -> Adversary.reactive_jammer (rng ()) ~channels ~budget
+  | _ ->
+    Adversary.energy_bounded ~total:(budget * 5) (Adversary.sweep_jammer ~channels ~budget)
+
+type params = {
+  n : int;
+  channels : int;
+  t : int;
+  seed : int;
+  steps : int;
+  record : bool;
+  which : int;  (** adversary choice *)
+  abort : bool;  (** run with a tiny [max_rounds] to exercise the abort path *)
+}
+
+let pp_params p =
+  Printf.sprintf "n=%d C=%d t=%d seed=%d steps=%d record=%b adv=%d abort=%b" p.n p.channels
+    p.t p.seed p.steps p.record p.which p.abort
+
+let params_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 40 in
+    let* channels = int_range 2 6 in
+    let* t = int_range 0 (channels - 1) in
+    let* seed = int_range 1 1_000_000 in
+    let* steps = int_range 0 25 in
+    let* record = bool in
+    let* which = int_range 0 5 in
+    let* abort = bool in
+    return { n; channels; t; seed; steps; record; which; abort })
+
+let params_arb = QCheck.make ~print:pp_params params_gen
+
+let config_of p =
+  let max_rounds = if p.abort then 4 else 2_000_000 in
+  Config.make ~n:p.n ~channels:p.channels ~t:p.t ~seed:(Int64.of_int p.seed) ~max_rounds
+    ~record_transcript:p.record ()
+
+let run_with core ?pool ?shard_min p =
+  let cfg = config_of p in
+  let adversary =
+    make_adversary ~which:p.which ~channels:p.channels ~budget:p.t ~seed:p.seed ()
+  in
+  let nodes = Array.init p.n (fun _ -> node_body ~n:p.n ~channels:p.channels ~steps:p.steps) in
+  match core with
+  | `Reference -> Engine.run_reference cfg ~adversary nodes
+  | `Sparse -> Engine.run ?pool ?shard_min cfg ~adversary nodes
+
+let fail_unequal p a b =
+  QCheck.Test.fail_reportf "divergence on %s:@ %t" (pp_params p) (fun fmt ->
+      explain_mismatch fmt a b)
+
+(* -- property: sparse = reference on random workloads -- *)
+
+let sparse_equals_reference =
+  QCheck.Test.make ~name:"sparse core = reference core" ~count:300 params_arb (fun p ->
+      let a = run_with `Reference p in
+      let b = run_with `Sparse p in
+      if not (same_result a b) then fail_unequal p a b else true)
+
+(* -- property: sharded harvest = serial harvest for pool sizes 1/2/4 --
+
+   [shard_min:1] forces sharding whenever a pool is present, so even the
+   small random populations exercise the scatter/merge path.  Recording is
+   forced off (the sharded path only runs on the cheap path; with record
+   on, [run] must silently fall back and still match). *)
+
+let sharded_equals_serial =
+  QCheck.Test.make ~name:"sharded rounds byte-identical for jobs 1/2/4" ~count:40 params_arb
+    (fun p ->
+      let serial = run_with `Sparse p in
+      List.for_all
+        (fun domains ->
+          Pool.with_pool ~domains (fun pool ->
+              let sharded = run_with `Sparse ~pool ~shard_min:1 p in
+              if not (same_result serial sharded) then fail_unequal p serial sharded
+              else true))
+        [ 1; 2; 4 ])
+
+(* -- deterministic spot checks -- *)
+
+let base_params =
+  { n = 24; channels = 4; t = 2; seed = 7; steps = 18; record = true; which = 3;
+    abort = false }
+
+let idle_parking_parity () =
+  (* Pure idle_for spans: the sparse core fast-forwards over parked rounds
+     (no record, null adversary), the reference core grinds through each —
+     results must still be identical. *)
+  let p = { base_params with record = false; which = 0; steps = 0 } in
+  let cfg = config_of p in
+  let nodes =
+    Array.init p.n (fun _ (ctx : Engine.ctx) ->
+        Engine.idle_for (5000 + (100 * (ctx.Engine.id mod 7))))
+  in
+  let a = Engine.run_reference cfg ~adversary:Adversary.null nodes in
+  let b = Engine.run cfg ~adversary:Adversary.null nodes in
+  check Alcotest.bool "identical" true (same_result a b);
+  check Alcotest.int "rounds" 5600 a.Engine.rounds_used;
+  check Alcotest.bool "completed" true a.Engine.completed
+
+let abort_with_parked_fibers () =
+  (* max_rounds expires while fibers sleep in the wake queue: both cores
+     must abort at the same round with the same stats. *)
+  let cfg = Config.make ~n:6 ~channels:2 ~t:1 ~seed:9L ~max_rounds:100 () in
+  let nodes = Array.init 6 (fun _ (_ : Engine.ctx) -> Engine.idle_for 10_000) in
+  let a = Engine.run_reference cfg ~adversary:Adversary.null nodes in
+  let b = Engine.run cfg ~adversary:Adversary.null nodes in
+  check Alcotest.bool "identical" true (same_result a b);
+  check Alcotest.bool "aborted" false a.Engine.completed;
+  check Alcotest.int "rounds" 100 a.Engine.rounds_used
+
+let staggered_wakes_parity () =
+  (* Wake rounds interleave with active transmitters; recording on, so the
+     sparse core takes the record path with real transcripts to compare. *)
+  let p = { base_params with which = 4 } in
+  let cfg = config_of p in
+  let body (ctx : Engine.ctx) =
+    let id = ctx.Engine.id in
+    for k = 1 to 8 do
+      Engine.idle_for ((id mod 5) + 1);
+      if id land 1 = 0 then
+        Engine.transmit ~chan:(k mod p.channels)
+          (Frame.Plain { src = id; dst = (id + 1) mod p.n; body = "w" })
+      else ignore (Engine.listen ~chan:(k mod p.channels))
+    done
+  in
+  let mk () = make_adversary ~which:p.which ~channels:p.channels ~budget:p.t ~seed:p.seed () in
+  let a = Engine.run_reference cfg ~adversary:(mk ()) (Array.make p.n body) in
+  let b = Engine.run_nodes cfg ~adversary:(mk ()) body in
+  check Alcotest.bool "identical" true (same_result a b);
+  check Alcotest.bool "has transcript" true (a.Engine.transcript <> [])
+
+let run_nodes_equals_run () =
+  let p = { base_params with record = true } in
+  let cfg = config_of p in
+  let body = node_body ~n:p.n ~channels:p.channels ~steps:p.steps in
+  let mk () = make_adversary ~which:p.which ~channels:p.channels ~budget:p.t ~seed:p.seed () in
+  let a = Engine.run cfg ~adversary:(mk ()) (Array.init p.n (fun _ -> body)) in
+  let b = Engine.run_nodes cfg ~adversary:(mk ()) body in
+  check Alcotest.bool "identical" true (same_result a b)
+
+let sharded_large_round_parity () =
+  (* A population large enough that sharding engages at the default-ish
+     threshold semantics (forced low here), with every node active every
+     round — the worst case for the scatter/merge. *)
+  let n = 2_000 in
+  let channels = 4 and t = 1 in
+  let cfg = Config.make ~n ~channels ~t ~seed:42L () in
+  let body (ctx : Engine.ctx) =
+    let id = ctx.Engine.id in
+    for round = 1 to 12 do
+      let chan = ((31 * round) + (17 * (id / 2))) mod channels in
+      if id land 1 = 0 then
+        Engine.transmit ~chan (Frame.Plain { src = id; dst = id + 1; body = "p" })
+      else ignore (Engine.listen ~chan)
+    done
+  in
+  let mk () = Adversary.sweep_jammer ~channels ~budget:t in
+  let serial = Engine.run_nodes cfg ~adversary:(mk ()) body in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let sharded = Engine.run_nodes ~pool ~shard_min:64 cfg ~adversary:(mk ()) body in
+          check Alcotest.bool
+            (Printf.sprintf "jobs=%d byte-identical" domains)
+            true (same_result serial sharded)))
+    [ 1; 2; 4 ]
+
+(* -- Adversary.validate: the null path must never allocate -- *)
+
+let validate_empty_no_alloc () =
+  (* Warm up so any one-time setup is paid before measuring. *)
+  ignore (Adversary.validate ~channels:4 ~budget:2 []);
+  let iters = 10_000 in
+  let before = Gc.minor_words () in
+  for _ = 1 to iters do
+    ignore (Adversary.validate ~channels:4 ~budget:2 [])
+  done;
+  let after = Gc.minor_words () in
+  (* The measurement itself boxes a float or two; anything growing with
+     [iters] is a regression on the per-round null-adversary path. *)
+  let per_call = (after -. before) /. float_of_int iters in
+  if per_call > 0.01 then
+    Alcotest.failf "Adversary.validate [] allocates %.3f words/call" per_call
+
+let validate_nonempty_still_checks () =
+  (* The early-out must not have disabled validation for real strikes. *)
+  Alcotest.check_raises "invalid channel still rejected"
+    (Invalid_argument "Adversary: strike on invalid channel") (fun () ->
+      ignore
+        (Adversary.validate ~channels:2 ~budget:2 [ { Adversary.chan = 5; spoof = None } ]))
+
+let () =
+  Alcotest.run "engine-equiv"
+    [ ( "equivalence",
+        [ qcheck sparse_equals_reference;
+          Alcotest.test_case "idle parking parity" `Quick idle_parking_parity;
+          Alcotest.test_case "abort with parked fibers" `Quick abort_with_parked_fibers;
+          Alcotest.test_case "staggered wakes parity" `Quick staggered_wakes_parity;
+          Alcotest.test_case "run_nodes = run" `Quick run_nodes_equals_run ] );
+      ( "sharding",
+        [ qcheck sharded_equals_serial;
+          Alcotest.test_case "large round jobs 1/2/4" `Quick sharded_large_round_parity ] );
+      ( "adversary-validate",
+        [ Alcotest.test_case "empty strikes allocation-free" `Quick validate_empty_no_alloc;
+          Alcotest.test_case "nonempty strikes still validated" `Quick
+            validate_nonempty_still_checks ] ) ]
