@@ -390,6 +390,108 @@ let run_population ~huge =
         promoted_words_per_run = 0.0 })
     (population_rows ~huge)
 
+(* -- service throughput benches (plain timed, medians of alternating runs) --
+
+   The multiplexed secure-channel service (Secure_channel.Mux) driven at
+   growing logical-channel counts under a null and a jamming adversary,
+   once with the batched crypto entry points and once with the naive
+   per-message API.  Each (channels, adversary) cell runs the two crypto
+   modes [service_runs] times in strict alternation (B,P,B,P,...) so slow
+   drift in machine load cancels out of the A/B comparison; the reported
+   figure is the median.  ns_per_run is wall-clock per *delivered message*,
+   so `ops_per_sec` in the radio-bench document reads as messages/sec.
+
+   The two modes must also be bit-for-bit equivalent: every run's
+   {!Mux.render_stats} digest is asserted identical across all runs of the
+   cell, and the shared digest plus the engine round count become a
+   `service/c{M}-{adv}` determinism row that bench_compare gates on.  The
+   p99 emulated-round delivery latency rides along as its own micro row
+   (units are emulated rounds, not nanoseconds; reported, never gated). *)
+
+module Mux = Secure_channel.Mux
+
+let service_runs = 3
+let service_emulated_rounds = 6
+
+let service_spec ~channels ~crypto =
+  Mux.make ~key:"bench-service-group-key" ~logical:channels ~phys:16 ~budget:4
+    ~crypto ~rounds:service_emulated_rounds ~rate:1 ~queue_cap:8 ~window:32
+    ~epoch_len:2 ~grace:1 ~payload:16 ~seed:42L ()
+
+(* Fresh adversary per run: random_jammer holds mutable PRNG state, and
+   reusing one across runs would break the A/B byte-identity assertion. *)
+let service_adversaries =
+  [ ("null", fun () -> Radio.Adversary.null);
+    ("jam", fun () -> Experiments.Common.random_jam ~seed:77L ~channels:16 ~budget:4) ]
+
+type service_det = { service_id : string; service_rounds : int; service_sha : string }
+
+let run_service ~jobs ~channels_list =
+  print_endline "\n== Service throughput (plain timed, median of alternating A/B runs) ==\n";
+  Printf.printf "  %-22s %8s %10s %10s %8s %6s\n" "cell" "msgs" "batched s" "permsg s"
+    "speedup" "p99";
+  Parallel.Pool.with_pool ~domains:jobs (fun pool ->
+      List.concat_map
+        (fun channels ->
+          List.concat_map
+            (fun (adv_name, mk_adv) ->
+              let one crypto =
+                let spec = service_spec ~channels ~crypto in
+                Parallel.Clock.time (fun () -> Mux.run ~pool spec ~adversary:(mk_adv ()))
+              in
+              let runs =
+                List.init service_runs (fun _ -> (one Mux.Batched, one Mux.Per_message))
+              in
+              let sample = fst (fst (List.hd runs)) in
+              let sha = Mux.output_digest sample in
+              List.iteri
+                (fun i ((b, _), (p, _)) ->
+                  List.iter
+                    (fun (mode, (r : Mux.result)) ->
+                      if Mux.output_digest r <> sha then (
+                        Printf.eprintf
+                          "service/c%d-%s: %s run %d diverged from run 0 (crypto modes \
+                           are not byte-identical)\n"
+                          channels adv_name mode i;
+                        exit 1))
+                    [ ("batched", b); ("per-message", p) ])
+                runs;
+              let msgs = sample.Mux.stats.Mux.delivered in
+              let med_b = median (List.map (fun ((_, s), _) -> s) runs) in
+              let med_p = median (List.map (fun (_, (_, s)) -> s) runs) in
+              let p99 = Mux.latency_percentile sample 0.99 in
+              Printf.printf "  %-22s %8d %10.3f %10.3f %7.2fx %6d\n%!"
+                (Printf.sprintf "c%d-%s" channels adv_name)
+                msgs med_b med_p (med_p /. med_b) p99;
+              let per_msg_ns wall =
+                if msgs > 0 then wall *. 1e9 /. float_of_int msgs else nan
+              in
+              let row name ns =
+                { bench_name = name; ns_per_run = ns; minor_words_per_run = 0.0;
+                  major_words_per_run = 0.0; promoted_words_per_run = 0.0 }
+              in
+              let micro =
+                [ row
+                    (Printf.sprintf "service/msgs-per-sec-c%d-%s-batched" channels adv_name)
+                    (per_msg_ns med_b);
+                  row
+                    (Printf.sprintf "service/msgs-per-sec-c%d-%s-permsg" channels adv_name)
+                    (per_msg_ns med_p);
+                  row
+                    (Printf.sprintf "service/p99-latency-rounds-c%d-%s" channels adv_name)
+                    (float_of_int p99) ]
+              in
+              let det =
+                { service_id = Printf.sprintf "service/c%d-%s" channels adv_name;
+                  service_rounds = sample.Mux.engine.Radio.Engine.rounds_used;
+                  service_sha = sha }
+              in
+              [ (micro, det) ])
+            service_adversaries)
+        channels_list)
+  |> List.split
+  |> fun (micro, det) -> (List.concat micro, det)
+
 let render_outcome (o : Experiments.Runner.outcome) =
   Format.printf "@.### %s: %s@." o.experiment.Experiments.Registry.id
     o.experiment.Experiments.Registry.title;
@@ -448,7 +550,7 @@ let jobs_sweep_report rows =
    fingerprint (rendered-output hash and round count) per experiment.  The
    fingerprint fields are exact — bench_compare gates on them — while the
    timing fields are environment-dependent and only ever reported. *)
-let bench_json ~quick ~micro_rows ~outcomes ~sweep_rows =
+let bench_json ~quick ~micro_rows ~outcomes ~sweep_rows ~service_det =
   let open Experiments in
   Json.Obj
     [ ("schema", Json.String "radio-bench/v1");
@@ -485,15 +587,23 @@ let bench_json ~quick ~micro_rows ~outcomes ~sweep_rows =
                    ( "output_sha256",
                      Json.String
                        (Crypto.Sha256.digest_hex (Format.asprintf "%a" Runner.render o)) ) ])
-             outcomes) ) ]
+             outcomes
+          @ List.map
+              (fun d ->
+                Json.Obj
+                  [ ("id", Json.String d.service_id);
+                    ("total_rounds", Json.Int d.service_rounds);
+                    ("output_sha256", Json.String d.service_sha) ])
+              service_det) ) ]
 
-let write_bench_json ~path ~quick ~micro_rows ~outcomes ~sweep_rows =
+let write_bench_json ~path ~quick ~micro_rows ~outcomes ~sweep_rows ~service_det =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc
-        (Experiments.Json.to_string (bench_json ~quick ~micro_rows ~outcomes ~sweep_rows));
+        (Experiments.Json.to_string
+           (bench_json ~quick ~micro_rows ~outcomes ~sweep_rows ~service_det));
       output_char oc '\n')
 
 type cli = {
@@ -501,6 +611,8 @@ type cli = {
   micro : bool;
   population : bool;
   huge : bool;
+  service : bool;
+  service_channels : int list option;
   jobs : int;
   jobs_sweep : int list;
   json : string option;
@@ -510,9 +622,10 @@ type cli = {
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [quick] [micro] [population [--huge]] [ID...] [--jobs N] \
-     [--jobs-sweep N,N,...] [--json PATH] [--bench-json PATH]\n\
-     available: %s, micro, population\n"
+    "usage: main.exe [quick] [micro] [service [--service-channels N,N,...]] \
+     [population [--huge]] [ID...] [--jobs N] [--jobs-sweep N,N,...] [--json PATH] \
+     [--bench-json PATH]\n\
+     available: %s, micro, service, population\n"
     (String.concat ", " Experiments.Registry.ids);
   exit 1
 
@@ -525,12 +638,24 @@ let parse_jobs_sweep spec =
   in
   if List.length jobs <> List.length parts || jobs = [] then usage () else jobs
 
+let parse_service_channels spec =
+  let parts = String.split_on_char ',' spec in
+  let channels =
+    List.filter_map
+      (fun s -> match int_of_string_opt (String.trim s) with Some c when c >= 1 -> Some c | _ -> None)
+      parts
+  in
+  if List.length channels <> List.length parts || channels = [] then usage () else channels
+
 let parse_args args =
   let rec go acc = function
     | [] -> acc
     | "quick" :: rest -> go { acc with quick = true } rest
     | "micro" :: rest -> go { acc with micro = true } rest
     | "population" :: rest -> go { acc with population = true } rest
+    | "service" :: rest -> go { acc with service = true } rest
+    | "--service-channels" :: spec :: rest ->
+      go { acc with service_channels = Some (parse_service_channels spec) } rest
     | "--huge" :: rest -> go { acc with huge = true } rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with
@@ -544,9 +669,9 @@ let parse_args args =
       else go { acc with ids = acc.ids @ [ id ] } rest
   in
   go
-    { quick = false; micro = false; population = false; huge = false;
-      jobs = Parallel.default_jobs (); jobs_sweep = []; json = None; bench_json = None;
-      ids = [] }
+    { quick = false; micro = false; population = false; huge = false; service = false;
+      service_channels = None; jobs = Parallel.default_jobs (); jobs_sweep = [];
+      json = None; bench_json = None; ids = [] }
     args
 
 let () =
@@ -559,6 +684,7 @@ let () =
     | Some path -> (
       match
         write_bench_json ~path ~quick:false ~micro_rows:rows ~outcomes:[] ~sweep_rows:[]
+          ~service_det:[]
       with
       | () -> Printf.printf "population benchmark document written to %s\n" path
       | exception Sys_error msg ->
@@ -607,9 +733,24 @@ let () =
     end
   in
   let micro_rows = if run_micro_too then run_micro ~quick:cli.quick else [] in
+  let service_micro, service_det =
+    if not cli.service then ([], [])
+    else begin
+      let channels_list =
+        match cli.service_channels with
+        | Some list -> list
+        | None -> if cli.quick then [ 64; 256 ] else [ 64; 256; 1024; 4096 ]
+      in
+      run_service ~jobs:cli.jobs ~channels_list
+    end
+  in
+  let micro_rows = micro_rows @ service_micro in
   match cli.bench_json with
   | Some path -> (
-    match write_bench_json ~path ~quick:cli.quick ~micro_rows ~outcomes ~sweep_rows with
+    match
+      write_bench_json ~path ~quick:cli.quick ~micro_rows ~outcomes ~sweep_rows
+        ~service_det
+    with
     | () -> Printf.printf "benchmark baseline written to %s\n" path
     | exception Sys_error msg ->
       Printf.eprintf "cannot write --bench-json results: %s\n" msg;

@@ -4,6 +4,7 @@
      exchange    run f-AME on a generated workload
      groupkey    establish a shared group key (Section 6)
      channel     emulate the long-lived secure channel (Section 7)
+     service     run the multiplexed secure-channel service (Section 7 at scale)
      game        play the starred-edge removal game (Section 5.1-5.2)
      experiment  regenerate a paper experiment table (e1..e12)
      list        list available experiments *)
@@ -98,6 +99,65 @@ let channel_cmd =
   in
   Cmd.v (Cmd.info "channel" ~doc:"Emulate the long-lived secure channel (Section 7).")
     Term.(const run $ seed_arg $ t_arg $ n_arg $ attack_arg $ messages_arg)
+
+let service_cmd =
+  let module Mux = Core.Secure_channel.Mux in
+  let channels_arg =
+    Arg.(value & opt int 256 & info [ "channels" ] ~docv:"M" ~doc:"Logical channels.")
+  in
+  let phys_arg =
+    Arg.(value & opt int 16 & info [ "phys" ] ~docv:"C" ~doc:"Physical radio channels.")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 12 & info [ "rounds" ] ~docv:"R" ~doc:"Emulated rounds to run.")
+  in
+  let epoch_arg =
+    Arg.(value & opt int 4 & info [ "epoch-len" ] ~docv:"E" ~doc:"Emulated rounds per key epoch.")
+  in
+  let outsiders_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "outsiders" ] ~docv:"K" ~doc:"Keyless nodes that snoop and forge.")
+  in
+  let crypto_arg =
+    Arg.(
+      value & opt string "batched"
+      & info [ "crypto" ] ~docv:"MODE"
+          ~doc:"Crypto back end: batched or per-message (byte-identical output).")
+  in
+  let jam_arg =
+    Arg.(value & flag & info [ "jam" ] ~doc:"Random jammer spending the full budget (-t).")
+  in
+  let run seed t channels phys rounds epoch_len outsiders crypto jam =
+    match
+      match crypto with
+      | "batched" -> Ok Mux.Batched
+      | "per-message" | "permsg" -> Ok Mux.Per_message
+      | other -> Error (Printf.sprintf "unknown crypto mode %S (batched, per-message)" other)
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok crypto ->
+      let spec =
+        Mux.make ~key:"radio-sim-service-key" ~logical:channels ~phys ~budget:t ~crypto
+          ~rounds ~epoch_len ~grace:(max 1 (epoch_len / 4)) ~outsiders ~seed ()
+      in
+      let adversary =
+        if jam then
+          Core.Radio.Adversary.random_jammer (Core.Prng.Rng.create seed) ~channels:phys
+            ~budget:t
+        else Core.Radio.Adversary.null
+      in
+      let r = Mux.run spec ~adversary in
+      print_string (Mux.render_stats r);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "service"
+       ~doc:"Run the multiplexed secure-channel service (Section 7 at scale).")
+    Term.(
+      ret
+        (const run $ seed_arg $ t_arg $ channels_arg $ phys_arg $ rounds_arg $ epoch_arg
+       $ outsiders_arg $ crypto_arg $ jam_arg))
 
 let game_cmd =
   let nodes_arg =
@@ -287,7 +347,7 @@ let main =
       ~doc:"Secure communication over multi-channel radio with a malicious adversary."
   in
   Cmd.group info
-    [ exchange_cmd; groupkey_cmd; rekey_cmd; channel_cmd; game_cmd; trace_cmd; experiment_cmd;
-      list_cmd ]
+    [ exchange_cmd; groupkey_cmd; rekey_cmd; channel_cmd; service_cmd; game_cmd; trace_cmd;
+      experiment_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -45,6 +45,70 @@ let open_keyed k { nonce; body; tag } =
     let stream = Prf.Keyed.keystream k.enc ~nonce (String.length body) in
     Some (xor_with body stream)
 
+(* Reusable working state for the batch entry points: PRF and MAC scratch
+   plus a growable keystream buffer and a tag buffer, so sealing or opening
+   a whole epoch's worth of frames under one key allocates only the output
+   strings themselves. *)
+type scratch = {
+  prf : Prf.Keyed.scratch;
+  hmac_s : Hmac.scratch;
+  mutable ks : Bytes.t; (* keystream, grown geometrically *)
+  tag_buf : Bytes.t; (* 32 bytes *)
+}
+
+let scratch () =
+  { prf = Prf.Keyed.scratch (); hmac_s = Hmac.scratch ();
+    ks = Bytes.create 256; tag_buf = Bytes.create Sha256.digest_size }
+
+let ensure_ks s len =
+  if Bytes.length s.ks < len then s.ks <- Bytes.create (max len (2 * Bytes.length s.ks))
+
+let[@inline] xor_into src ks out len =
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set out i
+      (Char.unsafe_chr
+         (Char.code (String.unsafe_get src i) lxor Char.code (Bytes.unsafe_get ks i)))
+  done
+
+let tag_into k s ~nonce body =
+  Hmac.mac_feed_into k.mac s.hmac_s
+    (fun ctx ->
+      Sha256.update ctx nonce;
+      Sha256.update ctx body)
+    s.tag_buf ~pos:0
+
+let seal_scratch k s ~nonce plaintext =
+  let nonce = encode_nonce nonce in
+  let len = String.length plaintext in
+  ensure_ks s len;
+  Prf.Keyed.keystream_into k.enc s.prf ~nonce s.ks ~pos:0 ~len;
+  let body = Bytes.create len in
+  xor_into plaintext s.ks body len;
+  let body = Bytes.unsafe_to_string body in
+  tag_into k s ~nonce body;
+  { nonce; body; tag = Bytes.to_string s.tag_buf }
+
+let open_scratch k s { nonce; body; tag } =
+  tag_into k s ~nonce body;
+  (* [tag_buf] is only read inside this comparison before the next frame
+     overwrites it, so the unsafe view never escapes. *)
+  if not (Hmac.equal_ct ~expect:(Bytes.unsafe_to_string s.tag_buf) ~tag) then None
+  else begin
+    let len = String.length body in
+    ensure_ks s len;
+    Prf.Keyed.keystream_into k.enc s.prf ~nonce s.ks ~pos:0 ~len;
+    let out = Bytes.create len in
+    xor_into body s.ks out len;
+    Some (Bytes.unsafe_to_string out)
+  end
+
+let seal_batch k s ~nonces msgs =
+  let n = Array.length msgs in
+  if Array.length nonces <> n then invalid_arg "Cipher.seal_batch: length mismatch";
+  Array.init n (fun i -> seal_scratch k s ~nonce:nonces.(i) msgs.(i))
+
+let open_batch k s frames = Array.map (open_scratch k s) frames
+
 let seal ~key:raw ~nonce plaintext = seal_keyed (key raw) ~nonce plaintext
 
 let open_ ~key:raw sealed = open_keyed (key raw) sealed

@@ -22,6 +22,31 @@ val seal_keyed : key -> nonce:int64 -> string -> sealed
 
 val open_keyed : key -> sealed -> string option
 
+type scratch
+(** Reusable working state (PRF/MAC scratch, keystream and tag buffers) for
+    the batch entry points.  One [scratch] serves any number of sequential
+    calls under any keys; per-domain, not reentrant. *)
+
+val scratch : unit -> scratch
+
+val seal_scratch : key -> scratch -> nonce:int64 -> string -> sealed
+(** {!seal_keyed} with all working state drawn from the scratch: only the
+    output frame itself is allocated.  Byte-identical to {!seal_keyed}. *)
+
+val open_scratch : key -> scratch -> sealed -> string option
+(** {!open_keyed} with all working state drawn from the scratch.
+    Byte-identical to {!open_keyed}. *)
+
+val seal_batch : key -> scratch -> nonces:int64 array -> string array -> sealed array
+(** Seal every message under one key, amortizing key schedule, HMAC
+    midstate replay, and keystream buffers across the batch.  Element [i]
+    equals [seal_keyed k ~nonce:nonces.(i) msgs.(i)].  Raises
+    [Invalid_argument] on length mismatch. *)
+
+val open_batch : key -> scratch -> sealed array -> string option array
+(** Open every frame under one key; element [i] equals
+    [open_keyed k frames.(i)]. *)
+
 val seal : key:string -> nonce:int64 -> string -> sealed
 (** [seal ~key ~nonce plaintext].  Nonces must not repeat under one key;
     callers use the round number, which the synchronous model makes unique.

@@ -37,6 +37,40 @@ module Keyed = struct
       incr block
     done;
     Bytes.unsafe_to_string out
+
+  (* Reusable working state for {!keystream_into}: the HMAC scratch, the
+     9-byte 0x00+counter tail, and a spill buffer for the final partial
+     block.  Lets the batch cipher generate keystream with zero per-frame
+     allocations. *)
+  type scratch = { hs : Hmac.scratch; tail : Bytes.t; last : Bytes.t }
+
+  let scratch () =
+    { hs = Hmac.scratch (); tail = Bytes.make 9 '\000';
+      last = Bytes.create Sha256.digest_size }
+
+  let keystream_into t s ~nonce out ~pos ~len =
+    (* Byte-identical to {!keystream}: the label ["ks|" ^ nonce] is fed as
+       two updates instead of being concatenated, absorbing the same byte
+       sequence. *)
+    Bytes.set s.tail 0 '\000';
+    let off = ref 0 and block = ref 0 in
+    while !off < len do
+      Bytes.set_int64_be s.tail 1 (Int64.of_int !block);
+      let feed ctx =
+        Sha256.update ctx "ks|";
+        Sha256.update ctx nonce;
+        Sha256.update_bytes ctx s.tail ~pos:0 ~len:9
+      in
+      let take = min Sha256.digest_size (len - !off) in
+      if take = Sha256.digest_size then
+        Hmac.mac_feed_into t.hmac s.hs feed out ~pos:(pos + !off)
+      else begin
+        Hmac.mac_feed_into t.hmac s.hs feed s.last ~pos:0;
+        Bytes.blit s.last 0 out (pos + !off) take
+      end;
+      off := !off + take;
+      incr block
+    done
 end
 
 let bytes ~key ~label ~counter = Keyed.bytes (Keyed.create key) ~label ~counter

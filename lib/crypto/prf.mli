@@ -27,6 +27,17 @@ module Keyed : sig
   val channel_hop : t -> round:int -> channels:int -> int
 
   val keystream : t -> nonce:string -> int -> string
+
+  type scratch
+  (** Reusable working state for {!keystream_into}.  One per domain;
+      not reentrant. *)
+
+  val scratch : unit -> scratch
+
+  val keystream_into : t -> scratch -> nonce:string -> Bytes.t -> pos:int -> len:int -> unit
+  (** [keystream_into t s ~nonce out ~pos ~len] writes the same bytes
+      [keystream t ~nonce len] would return at [pos] of [out], with zero
+      per-call allocations — the batch cipher path. *)
 end
 
 val bytes : key:string -> label:string -> counter:int -> string

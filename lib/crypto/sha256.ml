@@ -49,6 +49,16 @@ let copy ctx =
   { h = Array.copy ctx.h; buf = Bytes.copy ctx.buf; buf_len = ctx.buf_len;
     total_bytes = ctx.total_bytes; w = ctx.w }
 
+let copy_into src ~into =
+  (* Overwrite [into] with a snapshot of [src] without allocating: the
+     batch MAC path replays one midstate thousands of times per epoch and
+     reuses a single scratch context for all of them.  [into] keeps its own
+     [w] (per-block scratch, rewritten before every read). *)
+  Array.blit src.h 0 into.h 0 8;
+  if src.buf_len > 0 then Bytes.blit src.buf 0 into.buf 0 src.buf_len;
+  into.buf_len <- src.buf_len;
+  into.total_bytes <- src.total_bytes
+
 let[@inline] rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
 
 let[@inline] big_sigma0 x = rotr x 2 lxor rotr x 13 lxor rotr x 22
@@ -130,7 +140,7 @@ let feed_string ctx s ~off ~len =
 
 let update ctx s = feed_string ctx s ~off:0 ~len:(String.length s)
 
-let finalize ctx =
+let finalize_into ctx out ~pos =
   let bit_len = Int64.mul ctx.total_bytes 8L in
   (* Padding: 0x80, zeros, 8-byte big-endian bit length. *)
   let pad_len =
@@ -159,10 +169,13 @@ let finalize ctx =
     remaining := !remaining - block_size
   done;
   assert (!remaining = 0 && ctx.buf_len = 0);
-  let out = Bytes.create digest_size in
   for i = 0 to 7 do
-    Bytes.set_int32_be out (i * 4) (Int32.of_int ctx.h.(i))
-  done;
+    Bytes.set_int32_be out (pos + (i * 4)) (Int32.of_int ctx.h.(i))
+  done
+
+let finalize ctx =
+  let out = Bytes.create digest_size in
+  finalize_into ctx out ~pos:0;
   Bytes.unsafe_to_string out
 
 let digest s =

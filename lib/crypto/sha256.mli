@@ -16,6 +16,11 @@ val copy : ctx -> ctx
     precompute the ipad/opad midstates once per key and replay them for
     every MAC. *)
 
+val copy_into : ctx -> into:ctx -> unit
+(** [copy_into src ~into] overwrites [into] with a snapshot of [src]
+    without allocating — the batch-MAC path replays one midstate into the
+    same scratch context for every frame of an epoch. *)
+
 val update : ctx -> string -> unit
 (** Absorb bytes.  May be called any number of times. *)
 
@@ -26,7 +31,12 @@ val feed_string : ctx -> string -> off:int -> len:int -> unit
     out first. *)
 
 val finalize : ctx -> string
-(** The 32-byte raw digest.  The context must not be reused afterwards. *)
+(** The 32-byte raw digest.  The context must not be reused afterwards
+    (except via {!copy_into}, which resets it to the copied state). *)
+
+val finalize_into : ctx -> Bytes.t -> pos:int -> unit
+(** Like {!finalize}, writing the 32 digest bytes at [pos] of a
+    caller-owned buffer instead of allocating a string. *)
 
 val digest : string -> string
 (** One-shot: [digest s] is the 32-byte raw digest of [s]. *)

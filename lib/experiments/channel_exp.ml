@@ -1,3 +1,10 @@
+(* E9 runs the Section 7 secure channel as a 1-channel special case of the
+   multiplexed service: one logical broadcast group of the n-t key holders
+   (Repeat transport, Theta(t log n) repetitions per emulated round) with
+   the t key outsiders snooping and forging from inside the network. *)
+
+module Mux = Secure_channel.Mux
+
 let e9 ~quick ~jobs =
   let scenarios = if quick then [ (1, 20) ] else [ (1, 20); (2, 30); (3, 40) ] in
   let messages_per_run = 6 in
@@ -5,39 +12,33 @@ let e9 ~quick ~jobs =
     Common.sweep ~jobs
       (fun (t, n) ->
         let channels = t + 1 in
-        let cfg =
-          Radio.Config.make ~seed:(Int64.of_int ((t * 31) + n)) ~n ~channels ~t
-            ~record_transcript:true ()
+        let group = n - t in
+        let reps =
+          max 1
+            (int_of_float
+               (ceil (4.0 *. float_of_int (t + 1) *. Common.log2 (float_of_int (max n 4)))))
         in
         let key = Crypto.Sha256.digest (Printf.sprintf "group-key-%d-%d" t n) in
-        let spec = Secure_channel.Service.make_spec ~key ~cfg () in
-        let holders = List.init (n - t) Fun.id in
-        let sends =
-          List.init messages_per_run (fun i -> (i, i mod (n - t), Printf.sprintf "msg-%d" i))
-        in
-        let o =
-          Secure_channel.Service.run_workload ~cfg ~key_holders:holders ~spec ~sends
-            ~adversary:(Common.random_jam ~seed:(Int64.of_int (n * 7)) ~channels ~budget:t)
+        let spec =
+          Mux.make ~key ~logical:1 ~phys:channels ~budget:t
+            ~transport:(Mux.Repeat { reps; group })
+            ~rounds:messages_per_run ~outsiders:t
+            ~seed:(Int64.of_int ((t * 31) + n))
             ()
         in
-        let full_deliveries =
-          List.length
-            (List.filter
-               (fun (d : Secure_channel.Service.delivery) ->
-                 List.length d.received_by = n - t - 1)
-               o.Secure_channel.Service.deliveries)
+        let r =
+          Mux.run spec
+            ~adversary:(Common.random_jam ~seed:(Int64.of_int (n * 7)) ~channels ~budget:t)
         in
-        let norm =
-          float_of_int o.Secure_channel.Service.real_rounds_per_emulated
-          /. (float_of_int t *. Common.log2 (float_of_int n))
-        in
-        ( [ string_of_int t; string_of_int n;
-            string_of_int o.Secure_channel.Service.real_rounds_per_emulated;
+        let rpe = r.Mux.real_rounds_per_emulated in
+        let norm = float_of_int rpe /. (float_of_int t *. Common.log2 (float_of_int n)) in
+        ( [ string_of_int t; string_of_int n; string_of_int rpe;
             Printf.sprintf "%.2f" norm;
-            Printf.sprintf "%d/%d" full_deliveries messages_per_run;
-            string_of_int o.Secure_channel.Service.plaintext_leaks;
-            string_of_int o.Secure_channel.Service.forged_accepts ],
-          o.Secure_channel.Service.real_rounds_per_emulated * messages_per_run ))
+            Printf.sprintf "%d/%d" r.Mux.stats.Mux.full_deliveries
+              r.Mux.stats.Mux.messages_done;
+            string_of_int r.Mux.stats.Mux.plaintext_leaks;
+            string_of_int r.Mux.stats.Mux.forged_accepts ],
+          rpe * messages_per_run ))
       scenarios
   in
   Common.result ~total_rounds:(List.fold_left (fun acc (_, r) -> acc + r) 0 outcomes)

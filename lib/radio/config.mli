@@ -12,6 +12,9 @@ type t = {
   seed : int64;
   max_rounds : int;
   record_transcript : bool;
+  track_channels : bool;
+      (** accumulate per-physical-channel delivery/collision/jam counters
+          (see {!Transcript.Channel_usage}); cheap, but off by default *)
 }
 
 val default_max_rounds : int
@@ -23,6 +26,7 @@ val make :
   ?seed:int64 ->
   ?max_rounds:int ->
   ?record_transcript:bool ->
+  ?track_channels:bool ->
   n:int ->
   channels:int ->
   t:int ->

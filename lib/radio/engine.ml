@@ -40,6 +40,7 @@ type result = {
   transcript : Transcript.round_record list;
   completed : bool;
   rounds_used : int;
+  channel_usage : Transcript.Channel_usage.t option;
 }
 
 (* Placeholder occupying [first_frame] slots whose [first_sender] is -1; the
@@ -149,6 +150,10 @@ let run_reference cfg ~adversary nodes =
       start i body ctx)
     nodes;
   let stats = Transcript.Stats.create () in
+  let usage =
+    if cfg.Config.track_channels then Some (Transcript.Channel_usage.create channels)
+    else None
+  in
   let transcript = ref [] in
   let validate_chan chan =
     if chan < 0 || chan >= channels then
@@ -258,6 +263,11 @@ let run_reference cfg ~adversary nodes =
           else Transcript.Collision { transmitters = honest; jammed = false }
         in
         Array.set outcomes chan outcome;
+        (match usage with
+         | Some u ->
+           Transcript.Channel_usage.note u chan outcome
+             ~hearers:(Array.get listeners_on chan)
+         | None -> ());
         (match outcome with
          | Transcript.Empty -> ()
          | Transcript.Delivered { origin; _ } ->
@@ -338,7 +348,8 @@ let run_reference cfg ~adversary nodes =
         | WaitT (_, _, k) | WaitL (_, k) | WaitI k | WaitS (_, k) -> (
           try Effect.Deep.discontinue k Aborted with Aborted -> ()))
       fibers;
-  { stats; transcript = List.rev !transcript; completed; rounds_used = !round_counter }
+  { stats; transcript = List.rev !transcript; completed; rounds_used = !round_counter;
+    channel_usage = usage }
 
 (* ------------------------------------------------------------------ *)
 (* Sparse event-driven engine (the default core).                      *)
@@ -523,6 +534,10 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
   done;
   started := true;
   let stats = Transcript.Stats.create () in
+  let usage =
+    if cfg.Config.track_channels then Some (Transcript.Channel_usage.create channels)
+    else None
+  in
   let transcript = ref [] in
   let validate_chan chan =
     if chan < 0 || chan >= channels then
@@ -806,6 +821,11 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
           else Transcript.Collision { transmitters = honest; jammed = false }
         in
         Array.set outcomes chan outcome;
+        (match usage with
+         | Some u ->
+           Transcript.Channel_usage.note u chan outcome
+             ~hearers:(Array.get listeners_on chan)
+         | None -> ());
         (match outcome with
          | Transcript.Empty -> ()
          | Transcript.Delivered { origin; frame } ->
@@ -865,7 +885,8 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
         running_i := i;
         (try Effect.Deep.discontinue k Aborted with Aborted -> ())
     done;
-  { stats; transcript = List.rev !transcript; completed; rounds_used = !round_counter }
+  { stats; transcript = List.rev !transcript; completed; rounds_used = !round_counter;
+    channel_usage = usage }
 
 let run ?pool ?(shard_min = default_shard_min) cfg ~adversary nodes =
   let n = cfg.Config.n in

@@ -59,6 +59,9 @@ type result = {
   transcript : Transcript.round_record list;  (** empty unless recording is on *)
   completed : bool;  (** false if [max_rounds] was exhausted first *)
   rounds_used : int;
+  channel_usage : Transcript.Channel_usage.t option;
+      (** per-physical-channel counters; [Some] iff [Config.track_channels].
+          Identical across cores, pool sizes, and sharding. *)
 }
 
 val run :

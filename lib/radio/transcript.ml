@@ -23,6 +23,31 @@ let spoof_delivered record =
 
 let channel_outcome record chan = record.outcomes.(chan)
 
+module Channel_usage = struct
+  type t = {
+    deliveries : int array;
+    collisions : int array;
+    jammed : int array;
+  }
+
+  let create channels =
+    { deliveries = Array.make channels 0;
+      collisions = Array.make channels 0;
+      jammed = Array.make channels 0 }
+
+  (* Folds one resolved channel outcome in.  [hearers] is the listener count
+     on the channel this round, matching the semantics of
+     [Stats.deliveries]: deliveries count receptions, not occupied
+     channels. *)
+  let note t chan outcome ~hearers =
+    match outcome with
+    | Empty -> ()
+    | Delivered _ -> t.deliveries.(chan) <- t.deliveries.(chan) + hearers
+    | Collision { jammed = j; _ } ->
+      t.collisions.(chan) <- t.collisions.(chan) + 1;
+      if j then t.jammed.(chan) <- t.jammed.(chan) + 1
+end
+
 module Stats = struct
   type t = {
     mutable rounds : int;

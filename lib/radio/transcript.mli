@@ -28,6 +28,25 @@ val spoof_delivered : round_record -> bool
 
 val channel_outcome : round_record -> int -> outcome
 
+module Channel_usage : sig
+  type t = {
+    deliveries : int array;  (** receptions per physical channel *)
+    collisions : int array;  (** collision outcomes per physical channel *)
+    jammed : int array;  (** jammed collisions per physical channel *)
+  }
+  (** Per-physical-channel accounting, accumulated by the engine when
+      [Config.track_channels] is on.  Arrays are indexed by channel; the
+      counts match {!Stats} semantics exactly (deliveries count receptions,
+      a jammed channel contributes to both [collisions] and [jammed]). *)
+
+  val create : int -> t
+  (** [create channels]: all-zero counters. *)
+
+  val note : t -> int -> outcome -> hearers:int -> unit
+  (** Fold one resolved channel outcome in ([hearers] = listeners tuned to
+      that channel this round). *)
+end
+
 module Stats : sig
   type t = {
     mutable rounds : int;

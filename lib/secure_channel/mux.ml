@@ -1,0 +1,989 @@
+(* Multiplexed secure-channel service (ROADMAP item 2).
+
+   Thousands of logical channels share one simulated radio network.  All
+   protocol intelligence is central: once per emulated round, the first
+   fiber resumed runs [prepare], which processes everything heard in the
+   previous emulated round, runs the epoch / replay-window / backpressure
+   state machines, and batch-seals and batch-MACs every frame the round
+   will transmit.  Node fibers are thin actors — they read their slot plan
+   from the shared state and move bytes.  Fibers resume strictly
+   sequentially in node-id order within the engine's domain (the
+   determinism contract; harvest sharding only ever reads engine-internal
+   arrays), so the central mutable state needs no synchronization, and the
+   batch crypto amortizes key schedules and scratch buffers across every
+   frame of the round.
+
+   Emulated-round layout (Acked transport): S data slots, a mid sync
+   round, S ack slots, an end sync round — 2S+2 real rounds,
+   S = ceil(logical / phys).  Logical channel c occupies slot [c mod S] at
+   position [c / S]; a PRF-keyed offset per (emulated round, slot) rotates
+   the whole slot across the physical band, so co-scheduled channels never
+   collide with each other while the adversary cannot predict where any
+   one channel lands.  The central step is split in two: [prepare_data]
+   (round start: process last round's acks, enqueue offered load, seal
+   this round's data frames) and [prepare_acks] (after the mid sync:
+   process this round's received data, MAC this round's acks) — so a
+   message is sent, delivered, and acknowledged within one emulated round.
+   Each sync round guarantees that every listen of the preceding phase has
+   stored its result before the next central step reads it.
+
+   Repeat transport (the E9 broadcast shape): [group] members per logical
+   channel; the designated sender repeats the sealed head frame [reps]
+   times on a hopping channel while the rest listen — reps+1 real rounds
+   per emulated round, no acks, the head is retired after its round. *)
+
+module Cipher = Crypto.Cipher
+module Hmac = Crypto.Hmac
+module Prf = Crypto.Prf
+module Sha256 = Crypto.Sha256
+
+(* ------------------------------------------------------------------ *)
+(* Pure replay-window and epoch-acceptance state machines.             *)
+(* ------------------------------------------------------------------ *)
+
+module Window = struct
+  type t = { width : int; mutable hi : int; mutable mask : int }
+
+  type verdict = Fresh | Duplicate | Out_of_window
+
+  let create ~width =
+    if width < 1 || width > 62 then
+      invalid_arg "Mux.Window.create: width must be in 1..62";
+    { width; hi = -1; mask = 0 }
+
+  (* [mask] bit k records whether seq [hi - k] was delivered (bit 0 is
+     [hi] itself); bits at or beyond [width] are never consulted. *)
+  let check w seq =
+    if seq < 0 then Out_of_window
+    else if w.hi < 0 || seq > w.hi then Fresh
+    else if w.hi - seq >= w.width then Out_of_window
+    else if w.mask land (1 lsl (w.hi - seq)) <> 0 then Duplicate
+    else Fresh
+
+  let note w seq =
+    if w.hi < 0 || seq > w.hi then begin
+      let shift = if w.hi < 0 then 1 else seq - w.hi in
+      w.mask <- (if shift >= 62 then 0 else (w.mask lsl shift) land ((1 lsl 62) - 1)) lor 1;
+      w.hi <- seq
+    end
+    else w.mask <- w.mask lor (1 lsl (w.hi - seq))
+
+  let highest w = w.hi
+end
+
+type epoch_verdict = Current | Previous | Stale
+
+(* A frame sealed under [frame_epoch] is judged against the emulated round
+   [now] it arrives in: the current epoch always decodes; the previous
+   epoch is honoured only within [grace] emulated rounds of the boundary;
+   anything older — or claiming a future epoch — is rejected unopened. *)
+let epoch_verdict ~epoch_len ~grace ~now ~frame_epoch =
+  let cur = now / epoch_len in
+  if frame_epoch = cur then Current
+  else if frame_epoch = cur - 1 && now mod epoch_len < grace then Previous
+  else Stale
+
+let epoch_of ~epoch_len ~now = now / epoch_len
+
+(* ------------------------------------------------------------------ *)
+(* Epoch key derivation and the two crypto back ends.                  *)
+(* ------------------------------------------------------------------ *)
+
+type crypto_mode = Batched | Per_message
+
+let epoch_raw group_prf ~epoch =
+  Prf.Keyed.bytes group_prf ~label:"mux-epoch" ~counter:epoch
+
+let ack_raw raw = Sha256.digest ("mux-ack|" ^ raw)
+
+(* Batch-shaped crypto interface.  The protocol logic only ever talks to
+   these four entry points, so [Batched] and [Per_message] produce
+   byte-identical frames and decisions by construction — only the work per
+   frame differs. *)
+type ops = {
+  seal_many : epoch:int -> nonces:int64 array -> string array -> Cipher.sealed array;
+  open_many : epoch:int -> Cipher.sealed array -> string option array;
+  mac_many : epoch:int -> string array -> string array;
+  verify_many : epoch:int -> tags:string array -> string array -> bool array;
+}
+
+type epoch_keys = { ek_epoch : int; ck : Cipher.key; ak : Hmac.key }
+
+(* The batched back end: epoch-key handles cached by epoch parity (exactly
+   the current and previous epoch are ever decodable, so two slots never
+   thrash), one cipher scratch for the whole run, and the multi-message
+   batch entry points of {!Cipher} and {!Hmac}. *)
+let batched_ops group_prf =
+  let scratch = Cipher.scratch () in
+  let cache : epoch_keys option array = [| None; None |] in
+  let keys epoch =
+    let slot = epoch land 1 in
+    match cache.(slot) with
+    | Some k when k.ek_epoch = epoch -> k
+    | Some _ | None ->
+      let raw = epoch_raw group_prf ~epoch in
+      let k = { ek_epoch = epoch; ck = Cipher.key raw; ak = Hmac.key (ack_raw raw) } in
+      cache.(slot) <- Some k;
+      k
+  in
+  { seal_many =
+      (fun ~epoch ~nonces msgs -> Cipher.seal_batch (keys epoch).ck scratch ~nonces msgs);
+    open_many = (fun ~epoch frames -> Cipher.open_batch (keys epoch).ck scratch frames);
+    mac_many = (fun ~epoch msgs -> Hmac.mac_batch (keys epoch).ak msgs);
+    verify_many = (fun ~epoch ~tags msgs -> Hmac.verify_batch (keys epoch).ak ~tags msgs) }
+
+(* The per-message back end: the naive path, re-deriving everything a
+   frame needs — the group PRF handle from the raw group key, the epoch
+   key material from it, and the cipher/MAC subkey schedules — for every
+   single frame through the one-shot crypto API, exactly as a caller with
+   no caching layer would.  Byte-identical outputs; this is the baseline
+   side of the throughput bench's A/B. *)
+let per_message_ops key =
+  let raw ~epoch = epoch_raw (Prf.Keyed.create key) ~epoch in
+  { seal_many =
+      (fun ~epoch ~nonces msgs ->
+        Array.init (Array.length msgs) (fun i ->
+            Cipher.seal ~key:(raw ~epoch) ~nonce:nonces.(i) msgs.(i)));
+    open_many = (fun ~epoch frames -> Array.map (fun f -> Cipher.open_ ~key:(raw ~epoch) f) frames);
+    mac_many =
+      (fun ~epoch msgs -> Array.map (fun m -> Hmac.mac ~key:(ack_raw (raw ~epoch)) m) msgs);
+    verify_many =
+      (fun ~epoch ~tags msgs ->
+        Array.init (Array.length msgs) (fun i ->
+            Hmac.verify ~key:(ack_raw (raw ~epoch)) ~tag:tags.(i) msgs.(i))) }
+
+let ops_of_mode mode ~key group_prf =
+  match mode with
+  | Batched -> batched_ops group_prf
+  | Per_message -> per_message_ops key
+
+(* ------------------------------------------------------------------ *)
+(* Wire formats.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let u32 n = String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xFF))
+
+let read_u32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+(* Authenticated payload of a data frame: channel id (epoch keys are shared
+   by the whole group, so without the binding a valid frame could be
+   spliced onto another logical channel), sequence number, sealing epoch,
+   enqueue round (for latency accounting). *)
+let encode_payload ~chan ~seq ~epoch ~enq body =
+  u32 chan ^ u32 seq ^ u32 epoch ^ u32 enq ^ body
+
+let decode_payload payload =
+  if String.length payload < 16 then None
+  else
+    Some
+      ( read_u32 payload 0,
+        read_u32 payload 4,
+        read_u32 payload 8,
+        read_u32 payload 12,
+        String.sub payload 16 (String.length payload - 16) )
+
+(* Data frame on the air: clear epoch header (selects the trial key without
+   one MAC attempt per live epoch) + the sealed blob. *)
+let encode_data ~epoch sealed = u32 epoch ^ Cipher.encode sealed
+
+let decode_data blob =
+  if String.length blob < 4 then None
+  else
+    match Cipher.decode (String.sub blob 4 (String.length blob - 4)) with
+    | Some sealed -> Some (read_u32 blob 0, sealed)
+    | None -> None
+
+(* Ack frame: marker, channel, seq, epoch, 32-byte HMAC under the epoch's
+   ack subkey.  MAC-only — a bare sequence number needs no secrecy. *)
+let ack_msg ~chan ~seq ~epoch = "ack|" ^ u32 chan ^ u32 seq ^ u32 epoch
+
+let encode_ack ~chan ~seq ~epoch tag = "A" ^ u32 chan ^ u32 seq ^ u32 epoch ^ tag
+
+let decode_ack blob =
+  if String.length blob <> 45 || blob.[0] <> 'A' then None
+  else Some (read_u32 blob 1, read_u32 blob 5, read_u32 blob 9, String.sub blob 13 32)
+
+(* Deterministic message stream: the body of message (channel, seq), padded
+   or truncated to the configured size.  Receivers regenerate it, so a
+   forged-but-authenticated delivery (impossible short of a MAC break) is
+   detected without storing the offered payloads. *)
+let gen_body ~payload ~chan ~seq =
+  let base = Printf.sprintf "m|%d|%d|" chan seq in
+  let b = String.length base in
+  if b >= payload then String.sub base 0 payload
+  else base ^ String.make (payload - b) 'x'
+
+(* ------------------------------------------------------------------ *)
+(* Specification.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type transport = Acked | Repeat of { reps : int; group : int }
+
+type spec = {
+  key : string;
+  logical : int;
+  phys : int;
+  budget : int;
+  transport : transport;
+  crypto : crypto_mode;
+  rounds : int;
+  rate : int;
+  queue_cap : int;
+  window : int;
+  epoch_len : int;
+  grace : int;
+  payload : int;
+  outsiders : int;
+  seed : int64;
+}
+
+let make ~key ~logical ~phys ~budget ?(transport = Acked) ?(crypto = Batched)
+    ~rounds ?(rate = 1) ?(queue_cap = 8) ?(window = 32) ?(epoch_len = 16)
+    ?(grace = 4) ?(payload = 16) ?(outsiders = 0) ?(seed = 1L) () =
+  if logical < 1 then invalid_arg "Mux.make: need at least one logical channel";
+  if phys < 2 then invalid_arg "Mux.make: need at least 2 physical channels";
+  if budget < 0 || budget >= phys then invalid_arg "Mux.make: need 0 <= budget < phys";
+  if rounds < 1 then invalid_arg "Mux.make: need at least one emulated round";
+  if rate < 0 then invalid_arg "Mux.make: negative rate";
+  if queue_cap < 1 then invalid_arg "Mux.make: queue_cap must be positive";
+  if epoch_len < 1 then invalid_arg "Mux.make: epoch_len must be positive";
+  if grace < 0 || grace > epoch_len then invalid_arg "Mux.make: need 0 <= grace <= epoch_len";
+  if payload < 0 then invalid_arg "Mux.make: negative payload";
+  if outsiders < 0 then invalid_arg "Mux.make: negative outsiders";
+  (match transport with
+  | Acked -> ()
+  | Repeat { reps; group } ->
+    if reps < 1 then invalid_arg "Mux.make: Repeat needs reps >= 1";
+    if group < 2 then invalid_arg "Mux.make: Repeat needs group >= 2");
+  ignore (Window.create ~width:window);
+  { key; logical; phys; budget; transport; crypto; rounds; rate; queue_cap; window;
+    epoch_len; grace; payload; outsiders; seed }
+
+let service_nodes spec =
+  match spec.transport with
+  | Acked -> 2 * spec.logical
+  | Repeat { group; _ } -> spec.logical * group
+
+let node_count spec = service_nodes spec + spec.outsiders
+
+(* Data (and ack) slots per phase: with S = ceil(logical / phys), the at
+   most [phys] channels sharing a slot occupy distinct physical channels. *)
+let slots spec =
+  match spec.transport with
+  | Acked -> (spec.logical + spec.phys - 1) / spec.phys
+  | Repeat { reps; _ } -> reps
+
+let real_rounds_per_emulated spec =
+  match spec.transport with
+  | Acked -> (2 * slots spec) + 2
+  | Repeat { reps; _ } -> reps + 1
+
+(* ------------------------------------------------------------------ *)
+(* Run statistics.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  mutable offered : int;
+  mutable delivered : int;
+  mutable acked : int;
+  mutable duplicates : int;
+  mutable stale_epoch : int;
+  mutable out_of_window : int;
+  mutable bad_frames : int;
+  mutable shed : int;
+  mutable retransmissions : int;
+  mutable rekeys : int;
+  mutable messages_done : int;
+  mutable full_deliveries : int;
+  mutable forged_accepts : int;
+  mutable plaintext_leaks : int;
+  mutable snooped : int;
+}
+
+let create_stats () =
+  { offered = 0; delivered = 0; acked = 0; duplicates = 0; stale_epoch = 0;
+    out_of_window = 0; bad_frames = 0; shed = 0; retransmissions = 0; rekeys = 0;
+    messages_done = 0; full_deliveries = 0; forged_accepts = 0;
+    plaintext_leaks = 0; snooped = 0 }
+
+type result = {
+  spec : spec;
+  stats : stats;
+  engine : Radio.Engine.result;
+  latency_hist : int array;
+  emulated_rounds : int;
+  real_rounds_per_emulated : int;
+}
+
+let lat_buckets = 512
+
+let latency_percentile result p =
+  let hist = result.latency_hist in
+  let total = Array.fold_left ( + ) 0 hist in
+  if total = 0 then 0
+  else begin
+    let target = 1 + int_of_float (p *. float_of_int (total - 1)) in
+    let acc = ref 0 and ans = ref (Array.length hist - 1) and found = ref false in
+    Array.iteri
+      (fun d count ->
+        if not !found then begin
+          acc := !acc + count;
+          if !acc >= target then begin
+            ans := d;
+            found := true
+          end
+        end)
+      hist;
+    !ans
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Central run state.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  sp : spec;
+  s : int;  (* slots per phase *)
+  rpe : int;  (* real rounds per emulated round *)
+  hop_prf : Prf.Keyed.t;
+  ops : ops;
+  st : stats;
+  lat : int array;
+  mutable prepared_data : int;  (* last round [prepare_data] ran for; -1 before start *)
+  mutable prepared_acks : int;  (* last round [prepare_acks] ran for; -1 before start *)
+  (* The round plan fibers execute, per logical channel. *)
+  data_blob : string array;  (* "" = nothing to send *)
+  ack_blob : string array;  (* "" = no ack pending *)
+  data_chan : int array;
+  ack_chan : int array;
+  (* What fibers heard last emulated round (stored at resume time). *)
+  heard_data : Radio.Frame.t option array;  (* Acked: receiver of channel c *)
+  heard_ack : Radio.Frame.t option array;  (* Acked: sender of channel c *)
+  heard_multi : string list array;  (* Repeat: per node, reverse arrival order *)
+  (* Bounded per-channel send queues (flat ring buffers). *)
+  q_seq : int array;
+  q_enq : int array;
+  q_head : int array;
+  q_len : int array;
+  next_seq : int array;
+  (* Sender side, per channel. *)
+  sent_once : bool array;  (* head already transmitted at least once *)
+  seal_seq : int array;  (* cache identity of [data_blob]; -1 = empty *)
+  seal_epoch : int array;
+  (* Receiver side, per channel (Acked). *)
+  windows : Window.t array;
+  ack_pend_seq : int array;  (* latest delivered seq, re-acked each round; -1 none *)
+  ack_built_seq : int array;  (* cache identity of [ack_blob]; -1 = empty *)
+  ack_built_epoch : int array;
+  (* Repeat transport extras. *)
+  r_sender : int array;  (* member index transmitting this round's head *)
+  r_windows : Window.t array;  (* per node *)
+  r_chans : int array;  (* logical * reps hop assignments for this round *)
+}
+
+let create_state spec =
+  let m = spec.logical in
+  let nodes = node_count spec in
+  let group_prf = Prf.Keyed.create spec.key in
+  let multi = match spec.transport with Acked -> 0 | Repeat _ -> nodes in
+  let reps = match spec.transport with Acked -> 0 | Repeat { reps; _ } -> reps in
+  { sp = spec;
+    s = slots spec;
+    rpe = real_rounds_per_emulated spec;
+    hop_prf = Prf.Keyed.create (Sha256.digest ("mux-hop|" ^ spec.key));
+    ops = ops_of_mode spec.crypto ~key:spec.key group_prf;
+    st = create_stats ();
+    lat = Array.make lat_buckets 0;
+    prepared_data = -1;
+    prepared_acks = -1;
+    data_blob = Array.make m "";
+    ack_blob = Array.make m "";
+    data_chan = Array.make m 0;
+    ack_chan = Array.make m 0;
+    heard_data = Array.make m None;
+    heard_ack = Array.make m None;
+    heard_multi = Array.make (max 1 multi) [];
+    q_seq = Array.make (m * spec.queue_cap) 0;
+    q_enq = Array.make (m * spec.queue_cap) 0;
+    q_head = Array.make m 0;
+    q_len = Array.make m 0;
+    next_seq = Array.make m 0;
+    sent_once = Array.make m false;
+    seal_seq = Array.make m (-1);
+    seal_epoch = Array.make m 0;
+    windows = Array.init m (fun _ -> Window.create ~width:spec.window);
+    ack_pend_seq = Array.make m (-1);
+    ack_built_seq = Array.make m (-1);
+    ack_built_epoch = Array.make m (-1);
+    r_sender = Array.make m 0;
+    r_windows = Array.init (max 1 multi) (fun _ -> Window.create ~width:spec.window);
+    r_chans = Array.make (max 1 (m * reps)) 0 }
+
+let note_latency t d =
+  let d = if d < 0 then 0 else if d >= lat_buckets then lat_buckets - 1 else d in
+  t.lat.(d) <- t.lat.(d) + 1
+
+(* Queue ring accessors. *)
+let q_slot t c k = (c * t.sp.queue_cap) + ((t.q_head.(c) + k) mod t.sp.queue_cap)
+
+let q_push t c ~enq =
+  if t.q_len.(c) >= t.sp.queue_cap then false
+  else begin
+    let i = q_slot t c t.q_len.(c) in
+    t.q_seq.(i) <- t.next_seq.(c);
+    t.q_enq.(i) <- enq;
+    t.next_seq.(c) <- t.next_seq.(c) + 1;
+    t.q_len.(c) <- t.q_len.(c) + 1;
+    true
+  end
+
+let q_pop t c =
+  t.q_head.(c) <- (t.q_head.(c) + 1) mod t.sp.queue_cap;
+  t.q_len.(c) <- t.q_len.(c) - 1;
+  t.sent_once.(c) <- false;
+  t.seal_seq.(c) <- -1;
+  t.data_blob.(c) <- ""
+
+let head_seq t c = t.q_seq.(q_slot t c 0)
+let head_enq t c = t.q_enq.(q_slot t c 0)
+
+(* Epoch-batched accumulation: collect items per distinct epoch (at most
+   two epochs are ever decodable), then drain each group through a single
+   [ops] call.  Items within a group keep collection order; groups drain
+   in first-seen order — all deterministic. *)
+let add_item items epoch v =
+  match !items with
+  | (e0, l0) :: rest when e0 = epoch -> items := (e0, v :: l0) :: rest
+  | l -> (
+    match List.assoc_opt epoch l with
+    | Some prev ->
+      items := (epoch, v :: prev) :: List.filter (fun (e, _) -> e <> epoch) l
+    | None -> items := (epoch, [ v ]) :: l)
+
+let drain_items items ~apply =
+  List.iter
+    (fun (epoch, rev_list) -> apply epoch (Array.of_list (List.rev rev_list)))
+    (List.rev !items)
+
+let verdict_at t ~now ~frame_epoch =
+  epoch_verdict ~epoch_len:t.sp.epoch_len ~grace:t.sp.grace ~now ~frame_epoch
+
+let nonce_of ~chan ~seq =
+  Int64.logor (Int64.shift_left (Int64.of_int chan) 32) (Int64.of_int seq)
+
+(* ------------------------------------------------------------------ *)
+(* prepare: the once-per-emulated-round central step (Acked).          *)
+(* ------------------------------------------------------------------ *)
+
+(* One successfully opened data payload for channel [c], received in
+   emulated round [arrival].  Returns the seq to (re-)ack, if any. *)
+let deliver_payload t c ~arrival payload =
+  match decode_payload payload with
+  | None ->
+    t.st.bad_frames <- t.st.bad_frames + 1;
+    None
+  | Some (c', seq, _epoch, enq, body) ->
+    if c' <> c then begin
+      (* Valid MAC under the shared epoch key, but bound to another logical
+         channel: a splice attempt, not a delivery. *)
+      t.st.bad_frames <- t.st.bad_frames + 1;
+      None
+    end
+    else begin
+      match Window.check t.windows.(c) seq with
+      | Window.Duplicate ->
+        t.st.duplicates <- t.st.duplicates + 1;
+        Some seq (* the previous ack was lost: re-ack *)
+      | Window.Out_of_window ->
+        t.st.out_of_window <- t.st.out_of_window + 1;
+        None
+      | Window.Fresh ->
+        Window.note t.windows.(c) seq;
+        t.st.delivered <- t.st.delivered + 1;
+        note_latency t (arrival - enq);
+        if not (String.equal body (gen_body ~payload:t.sp.payload ~chan:c ~seq)) then
+          t.st.forged_accepts <- t.st.forged_accepts + 1;
+        Some seq
+    end
+
+let process_heard_data t ~arrival =
+  let items = ref [] in
+  for c = 0 to t.sp.logical - 1 do
+    (match t.heard_data.(c) with
+    | None -> ()
+    | Some (Radio.Frame.Sealed blob) -> (
+      match decode_data blob with
+      | None -> t.st.bad_frames <- t.st.bad_frames + 1
+      | Some (frame_epoch, sealed) -> (
+        match verdict_at t ~now:arrival ~frame_epoch with
+        | Stale -> t.st.stale_epoch <- t.st.stale_epoch + 1
+        | Current | Previous -> add_item items frame_epoch (c, sealed)))
+    | Some _ ->
+      (* A decodable non-sealed frame on our slot: spoofed traffic. *)
+      t.st.bad_frames <- t.st.bad_frames + 1);
+    t.heard_data.(c) <- None
+  done;
+  drain_items items ~apply:(fun epoch batch ->
+      let opened = t.ops.open_many ~epoch (Array.map snd batch) in
+      Array.iteri
+        (fun i (c, _) ->
+          match opened.(i) with
+          | None -> t.st.bad_frames <- t.st.bad_frames + 1
+          | Some payload -> (
+            match deliver_payload t c ~arrival payload with
+            | Some seq -> t.ack_pend_seq.(c) <- seq
+            | None -> ()))
+        batch)
+
+let process_heard_acks t ~arrival =
+  let items = ref [] in
+  for c = 0 to t.sp.logical - 1 do
+    (match t.heard_ack.(c) with
+    | None -> ()
+    | Some (Radio.Frame.Sealed blob) -> (
+      match decode_ack blob with
+      | None -> t.st.bad_frames <- t.st.bad_frames + 1
+      | Some (c', seq, epoch, tag) -> (
+        match verdict_at t ~now:arrival ~frame_epoch:epoch with
+        | Stale -> t.st.stale_epoch <- t.st.stale_epoch + 1
+        | Current | Previous -> add_item items epoch (c, c', seq, tag)))
+    | Some _ -> t.st.bad_frames <- t.st.bad_frames + 1);
+    t.heard_ack.(c) <- None
+  done;
+  drain_items items ~apply:(fun epoch batch ->
+      let msgs = Array.map (fun (_, c', seq, _) -> ack_msg ~chan:c' ~seq ~epoch) batch in
+      let tags = Array.map (fun (_, _, _, tag) -> tag) batch in
+      let ok = t.ops.verify_many ~epoch ~tags msgs in
+      Array.iteri
+        (fun i (c, c', seq, _) ->
+          if not ok.(i) then t.st.bad_frames <- t.st.bad_frames + 1
+          else if c' <> c then t.st.bad_frames <- t.st.bad_frames + 1
+          else if t.q_len.(c) > 0 && head_seq t c = seq then begin
+            q_pop t c;
+            t.st.acked <- t.st.acked + 1
+          end)
+        batch)
+
+let offer_load t ~e =
+  for c = 0 to t.sp.logical - 1 do
+    for _ = 1 to t.sp.rate do
+      t.st.offered <- t.st.offered + 1;
+      if not (q_push t c ~enq:e) then t.st.shed <- t.st.shed + 1
+    done
+  done
+
+(* Build (or reuse) the sealed data frame for every busy channel.  A cached
+   frame survives as long as its sealing epoch is still decodable at the
+   receiver — which is exactly how the epoch grace window gets exercised:
+   a retransmission sealed just before a boundary rides the grace period
+   instead of being re-sealed the instant the epoch turns. *)
+let build_data_frames t ~e =
+  let cur = epoch_of ~epoch_len:t.sp.epoch_len ~now:e in
+  let items = ref [] in
+  for c = 0 to t.sp.logical - 1 do
+    if t.q_len.(c) = 0 then begin
+      t.seal_seq.(c) <- -1;
+      t.data_blob.(c) <- ""
+    end
+    else begin
+      let seq = head_seq t c in
+      let reusable =
+        t.seal_seq.(c) = seq
+        && (match verdict_at t ~now:e ~frame_epoch:t.seal_epoch.(c) with
+           | Current | Previous -> true
+           | Stale -> false)
+      in
+      if not reusable then add_item items cur (c, seq);
+      if t.sent_once.(c) then t.st.retransmissions <- t.st.retransmissions + 1;
+      t.sent_once.(c) <- true
+    end
+  done;
+  drain_items items ~apply:(fun epoch batch ->
+      let nonces = Array.map (fun (c, seq) -> nonce_of ~chan:c ~seq) batch in
+      let payloads =
+        Array.map
+          (fun (c, seq) ->
+            encode_payload ~chan:c ~seq ~epoch ~enq:(head_enq t c)
+              (gen_body ~payload:t.sp.payload ~chan:c ~seq))
+          batch
+      in
+      let sealed = t.ops.seal_many ~epoch ~nonces payloads in
+      Array.iteri
+        (fun i (c, seq) ->
+          t.seal_seq.(c) <- seq;
+          t.seal_epoch.(c) <- epoch;
+          t.data_blob.(c) <- encode_data ~epoch sealed.(i))
+        batch)
+
+(* Build (or reuse) the pending ack frame for every channel that has
+   delivered at least once.  Acks are re-sent every emulated round (the
+   slot is reserved anyway), which is what recovers from lost acks. *)
+let build_ack_frames t ~e =
+  let cur = epoch_of ~epoch_len:t.sp.epoch_len ~now:e in
+  let items = ref [] in
+  for c = 0 to t.sp.logical - 1 do
+    let seq = t.ack_pend_seq.(c) in
+    if seq < 0 then t.ack_blob.(c) <- ""
+    else begin
+      let reusable =
+        t.ack_built_seq.(c) = seq
+        && (match verdict_at t ~now:e ~frame_epoch:t.ack_built_epoch.(c) with
+           | Current | Previous -> true
+           | Stale -> false)
+      in
+      if not reusable then add_item items cur (c, seq)
+    end
+  done;
+  drain_items items ~apply:(fun epoch batch ->
+      let msgs = Array.map (fun (c, seq) -> ack_msg ~chan:c ~seq ~epoch) batch in
+      let tags = t.ops.mac_many ~epoch msgs in
+      Array.iteri
+        (fun i (c, seq) ->
+          t.ack_built_seq.(c) <- seq;
+          t.ack_built_epoch.(c) <- epoch;
+          t.ack_blob.(c) <- encode_ack ~chan:c ~seq ~epoch tags.(i))
+        batch)
+
+(* PRF-keyed slot rotation: every channel of slot s lands on a distinct
+   physical channel, and the whole slot's placement is unpredictable. *)
+let assign_channels t ~e =
+  for c = 0 to t.sp.logical - 1 do
+    let s = c mod t.s and p = c / t.s in
+    let off_d =
+      Prf.Keyed.below t.hop_prf ~label:"mux-hop-data" ~counter:((e * t.s) + s) t.sp.phys
+    in
+    let off_a =
+      Prf.Keyed.below t.hop_prf ~label:"mux-hop-ack" ~counter:((e * t.s) + s) t.sp.phys
+    in
+    t.data_chan.(c) <- (p + off_d) mod t.sp.phys;
+    t.ack_chan.(c) <- (p + off_a) mod t.sp.phys
+  done
+
+(* ------------------------------------------------------------------ *)
+(* prepare (Repeat transport).                                         *)
+(* ------------------------------------------------------------------ *)
+
+let process_heard_multi t ~arrival ~group =
+  (* Collect the distinct sealed blobs heard across all members, batch-open
+     them once per epoch, then judge each member's arrival list against the
+     opened table.  The table is lookup-only, so the Hashtbl introduces no
+     iteration-order nondeterminism. *)
+  let opened : (string, string option) Hashtbl.t = Hashtbl.create 64 in
+  let items = ref [] in
+  for node = 0 to (t.sp.logical * group) - 1 do
+    List.iter
+      (fun blob ->
+        if not (Hashtbl.mem opened blob) then begin
+          Hashtbl.add opened blob None;
+          match decode_data blob with
+          | None -> t.st.bad_frames <- t.st.bad_frames + 1
+          | Some (frame_epoch, sealed) -> (
+            match verdict_at t ~now:arrival ~frame_epoch with
+            | Stale -> t.st.stale_epoch <- t.st.stale_epoch + 1
+            | Current | Previous -> add_item items frame_epoch (blob, sealed))
+        end)
+      (List.rev t.heard_multi.(node))
+  done;
+  drain_items items ~apply:(fun epoch batch ->
+      let res = t.ops.open_many ~epoch (Array.map snd batch) in
+      Array.iteri
+        (fun i (blob, _) ->
+          match res.(i) with
+          | None -> t.st.bad_frames <- t.st.bad_frames + 1
+          | Some _ -> Hashtbl.replace opened blob res.(i))
+        batch);
+  (* Per-node delivery, then per-channel head accounting: the head was
+     repeated [reps] times in round [arrival] and is now retired — either
+     every receiver has it (a full delivery) or the adversary won the round
+     for the missing ones. *)
+  for c = 0 to t.sp.logical - 1 do
+    if t.q_len.(c) > 0 && t.sent_once.(c) then begin
+      let seq = head_seq t c in
+      let hits = ref 0 in
+      for m = 0 to group - 1 do
+        let node = (c * group) + m in
+        if m <> t.r_sender.(c) then begin
+          let got = ref false in
+          List.iter
+            (fun blob ->
+              if not !got then
+                match Hashtbl.find_opt opened blob with
+                | Some (Some payload) -> (
+                  match decode_payload payload with
+                  | Some (c', seq', _, enq', body) when c' = c -> (
+                    got := true;
+                    match Window.check t.r_windows.(node) seq' with
+                    | Window.Duplicate -> t.st.duplicates <- t.st.duplicates + 1
+                    | Window.Out_of_window ->
+                      t.st.out_of_window <- t.st.out_of_window + 1
+                    | Window.Fresh ->
+                      Window.note t.r_windows.(node) seq';
+                      t.st.delivered <- t.st.delivered + 1;
+                      note_latency t (arrival - enq');
+                      if
+                        not
+                          (String.equal body
+                             (gen_body ~payload:t.sp.payload ~chan:c ~seq:seq'))
+                      then t.st.forged_accepts <- t.st.forged_accepts + 1)
+                  | Some _ | None -> ())
+                | Some None | None -> ())
+            (List.rev t.heard_multi.(node));
+          if !got then
+            match Window.check t.r_windows.(node) seq with
+            | Window.Duplicate -> incr hits (* the head is in this node's window *)
+            | Window.Fresh | Window.Out_of_window -> ()
+        end
+      done;
+      if !hits = group - 1 then t.st.full_deliveries <- t.st.full_deliveries + 1;
+      t.st.messages_done <- t.st.messages_done + 1;
+      q_pop t c
+    end
+  done;
+  for node = 0 to (t.sp.logical * group) - 1 do
+    t.heard_multi.(node) <- []
+  done
+
+let build_repeat_frames t ~e ~reps ~group =
+  let cur = epoch_of ~epoch_len:t.sp.epoch_len ~now:e in
+  let items = ref [] in
+  for c = 0 to t.sp.logical - 1 do
+    if t.q_len.(c) = 0 then begin
+      t.seal_seq.(c) <- -1;
+      t.data_blob.(c) <- "";
+      t.sent_once.(c) <- false
+    end
+    else begin
+      let seq = head_seq t c in
+      add_item items cur (c, seq);
+      t.r_sender.(c) <- seq mod group;
+      t.sent_once.(c) <- true
+    end
+  done;
+  drain_items items ~apply:(fun epoch batch ->
+      let nonces = Array.map (fun (c, seq) -> nonce_of ~chan:c ~seq) batch in
+      let payloads =
+        Array.map
+          (fun (c, seq) ->
+            encode_payload ~chan:c ~seq ~epoch ~enq:(head_enq t c)
+              (gen_body ~payload:t.sp.payload ~chan:c ~seq))
+          batch
+      in
+      let sealed = t.ops.seal_many ~epoch ~nonces payloads in
+      Array.iteri
+        (fun i (c, seq) ->
+          t.seal_seq.(c) <- seq;
+          t.seal_epoch.(c) <- epoch;
+          t.data_blob.(c) <- encode_data ~epoch sealed.(i))
+        batch);
+  for c = 0 to t.sp.logical - 1 do
+    for j = 0 to reps - 1 do
+      t.r_chans.((c * reps) + j) <-
+        Prf.Keyed.below t.hop_prf ~label:"mux-hop-r"
+          ~counter:((((e * reps) + j) * t.sp.logical) + c)
+          t.sp.phys
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The emulated-round driver.                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Round start: retire heads acknowledged last round, take offered load,
+   seal this round's data frames, place the slots.  (Repeat transport does
+   everything here — it has no ack phase.) *)
+let prepare_data t ~e =
+  if e > 0 && e mod t.sp.epoch_len = 0 then t.st.rekeys <- t.st.rekeys + 1;
+  (match t.sp.transport with
+  | Acked ->
+    if e > 0 then process_heard_acks t ~arrival:(e - 1);
+    offer_load t ~e;
+    build_data_frames t ~e;
+    assign_channels t ~e
+  | Repeat { reps; group } ->
+    if e > 0 then process_heard_multi t ~arrival:(e - 1) ~group;
+    offer_load t ~e;
+    build_repeat_frames t ~e ~reps ~group);
+  t.prepared_data <- e
+
+(* After the mid sync: every data listen of this round has stored its
+   result, so deliveries can be judged and this round's acks MACed now —
+   the ack a sender hears acknowledges the frame it sent this round. *)
+let prepare_acks t ~e =
+  process_heard_data t ~arrival:e;
+  build_ack_frames t ~e;
+  t.prepared_acks <- e
+
+(* Fibers resume in node-id order, so the first service fiber woken at each
+   phase boundary runs the central step before any fiber reads the plan. *)
+let ensure_prepared_data t ~e = if t.prepared_data < e then prepare_data t ~e
+let ensure_prepared_acks t ~e = if t.prepared_acks < e then prepare_acks t ~e
+
+(* Drain what the final round's ack phase delivered (fibers have exited; no
+   frames left to build).  Data heard in the final round was already
+   processed by its own [prepare_acks]; Repeat processes everything here. *)
+let finalize t =
+  match t.sp.transport with
+  | Acked -> process_heard_acks t ~arrival:(t.sp.rounds - 1)
+  | Repeat { group; _ } -> process_heard_multi t ~arrival:(t.sp.rounds - 1) ~group
+
+let acked_service_body t (ctx : Radio.Engine.ctx) =
+  let c = ctx.Radio.Engine.id / 2 in
+  let is_sender = ctx.Radio.Engine.id land 1 = 0 in
+  let s = c mod t.s in
+  for e = 0 to t.sp.rounds - 1 do
+    (* Data phase. *)
+    ensure_prepared_data t ~e;
+    Radio.Engine.idle_for s;
+    if is_sender then
+      if String.length t.data_blob.(c) > 0 then
+        Radio.Engine.transmit ~chan:t.data_chan.(c) (Radio.Frame.Sealed t.data_blob.(c))
+      else Radio.Engine.idle ()
+    else t.heard_data.(c) <- Radio.Engine.listen ~chan:t.data_chan.(c);
+    Radio.Engine.idle_for (t.s - 1 - s);
+    Radio.Engine.idle ();
+    (* Ack phase. *)
+    ensure_prepared_acks t ~e;
+    Radio.Engine.idle_for s;
+    if is_sender then t.heard_ack.(c) <- Radio.Engine.listen ~chan:t.ack_chan.(c)
+    else if String.length t.ack_blob.(c) > 0 then
+      Radio.Engine.transmit ~chan:t.ack_chan.(c) (Radio.Frame.Sealed t.ack_blob.(c))
+    else Radio.Engine.idle ();
+    Radio.Engine.idle_for (t.s - 1 - s);
+    Radio.Engine.idle ()
+  done
+
+let repeat_service_body t ~reps ~group (ctx : Radio.Engine.ctx) =
+  let node = ctx.Radio.Engine.id in
+  let c = node / group in
+  let m = node mod group in
+  for e = 0 to t.sp.rounds - 1 do
+    ensure_prepared_data t ~e;
+    let sending = t.sent_once.(c) && m = t.r_sender.(c) in
+    for j = 0 to reps - 1 do
+      let chan = t.r_chans.((c * reps) + j) in
+      if sending then
+        Radio.Engine.transmit ~chan (Radio.Frame.Sealed t.data_blob.(c))
+      else begin
+        match Radio.Engine.listen ~chan with
+        | Some (Radio.Frame.Sealed blob) ->
+          t.heard_multi.(node) <- blob :: t.heard_multi.(node)
+        | Some _ -> t.st.bad_frames <- t.st.bad_frames + 1
+        | None -> ()
+      end
+    done;
+    Radio.Engine.idle ()
+  done
+
+(* Outsiders hold no key.  They snoop (and provably decode nothing) and
+   periodically inject well-formed frames sealed under their own key —
+   frames that pass every syntactic check and die on the MAC. *)
+let outsider_body t (ctx : Radio.Engine.ctx) =
+  let wrong = Cipher.key (Printf.sprintf "outsider-%d" ctx.Radio.Engine.id) in
+  let scr = Cipher.scratch () in
+  for e = 0 to t.sp.rounds - 1 do
+    let epoch = epoch_of ~epoch_len:t.sp.epoch_len ~now:e in
+    for r = 0 to t.rpe - 1 do
+      if Prng.Rng.int ctx.Radio.Engine.rng 8 = 0 then begin
+        let nonce = Int64.of_int (((e * t.rpe) + r) lxor ctx.Radio.Engine.id) in
+        let payload =
+          encode_payload
+            ~chan:(Prng.Rng.int ctx.Radio.Engine.rng t.sp.logical)
+            ~seq:e ~epoch ~enq:e
+            (gen_body ~payload:t.sp.payload ~chan:0 ~seq:e)
+        in
+        let blob = encode_data ~epoch (Cipher.seal_scratch wrong scr ~nonce payload) in
+        Radio.Engine.transmit
+          ~chan:(Prng.Rng.int ctx.Radio.Engine.rng t.sp.phys)
+          (Radio.Frame.Sealed blob)
+      end
+      else begin
+        match Radio.Engine.listen ~chan:(Prng.Rng.int ctx.Radio.Engine.rng t.sp.phys) with
+        | Some (Radio.Frame.Sealed blob) -> (
+          t.st.snooped <- t.st.snooped + 1;
+          match decode_data blob with
+          | None -> ()
+          | Some (_, sealed) -> (
+            match Cipher.open_scratch wrong scr sealed with
+            | Some _ -> t.st.plaintext_leaks <- t.st.plaintext_leaks + 1
+            | None -> ()))
+        | Some _ | None -> ()
+      end
+    done
+  done
+
+let run ?pool spec ~adversary =
+  let t = create_state spec in
+  let n = node_count spec in
+  let cfg =
+    Radio.Config.make ~seed:spec.seed
+      ~max_rounds:((spec.rounds * t.rpe) + 4)
+      ~track_channels:true ~n ~channels:spec.phys ~t:spec.budget ()
+  in
+  let service = service_nodes spec in
+  let body (ctx : Radio.Engine.ctx) =
+    if ctx.Radio.Engine.id >= service then outsider_body t ctx
+    else
+      match spec.transport with
+      | Acked -> acked_service_body t ctx
+      | Repeat { reps; group } -> repeat_service_body t ~reps ~group ctx
+  in
+  let engine = Radio.Engine.run_nodes ?pool cfg ~adversary body in
+  finalize t;
+  { spec; stats = t.st; engine; latency_hist = t.lat; emulated_rounds = spec.rounds;
+    real_rounds_per_emulated = t.rpe }
+
+(* ------------------------------------------------------------------ *)
+(* Canonical rendering (crypto-mode- and pool-independent).            *)
+(* ------------------------------------------------------------------ *)
+
+let transport_name = function
+  | Acked -> "acked"
+  | Repeat { reps; group } -> Printf.sprintf "repeat(reps=%d,group=%d)" reps group
+
+(* Everything here must be byte-identical across crypto modes and pool
+   sizes — it is the text the bench's determinism rows hash.  The crypto
+   mode itself is deliberately excluded. *)
+let render_stats r =
+  let b = Buffer.create 1024 in
+  let s = r.stats in
+  Printf.bprintf b "mux/v1 transport=%s logical=%d phys=%d budget=%d rounds=%d\n"
+    (transport_name r.spec.transport)
+    r.spec.logical r.spec.phys r.spec.budget r.spec.rounds;
+  Printf.bprintf b
+    "cfg rate=%d queue_cap=%d window=%d epoch_len=%d grace=%d payload=%d outsiders=%d seed=%Ld\n"
+    r.spec.rate r.spec.queue_cap r.spec.window r.spec.epoch_len r.spec.grace
+    r.spec.payload r.spec.outsiders r.spec.seed;
+  Printf.bprintf b
+    "load offered=%d delivered=%d acked=%d shed=%d retransmissions=%d duplicates=%d\n"
+    s.offered s.delivered s.acked s.shed s.retransmissions s.duplicates;
+  Printf.bprintf b
+    "guard stale_epoch=%d out_of_window=%d bad_frames=%d forged_accepts=%d leaks=%d snooped=%d rekeys=%d\n"
+    s.stale_epoch s.out_of_window s.bad_frames s.forged_accepts s.plaintext_leaks
+    s.snooped s.rekeys;
+  Printf.bprintf b "repeat messages_done=%d full_deliveries=%d\n" s.messages_done
+    s.full_deliveries;
+  Printf.bprintf b "latency p50=%d p99=%d samples=%d\n" (latency_percentile r 0.50)
+    (latency_percentile r 0.99)
+    (Array.fold_left ( + ) 0 r.latency_hist);
+  Printf.bprintf b "rounds emulated=%d real_per_emulated=%d used=%d completed=%b\n"
+    r.emulated_rounds r.real_rounds_per_emulated r.engine.Radio.Engine.rounds_used
+    r.engine.Radio.Engine.completed;
+  Printf.bprintf b "engine %s\n"
+    (Format.asprintf "%a" Radio.Transcript.Stats.pp r.engine.Radio.Engine.stats);
+  (match r.engine.Radio.Engine.channel_usage with
+  | None -> Buffer.add_string b "usage none\n"
+  | Some u ->
+    let d = u.Radio.Transcript.Channel_usage.deliveries in
+    let mn = Array.fold_left min max_int d and mx = Array.fold_left max 0 d in
+    let total = Array.fold_left ( + ) 0 d in
+    let coll = Array.fold_left ( + ) 0 u.Radio.Transcript.Channel_usage.collisions in
+    let jam = Array.fold_left ( + ) 0 u.Radio.Transcript.Channel_usage.jammed in
+    Printf.bprintf b "usage phys=%d deliveries=%d min=%d max=%d collisions=%d jammed=%d\n"
+      (Array.length d) total mn mx coll jam);
+  Buffer.contents b
+
+let output_digest r = Sha256.digest_hex (render_stats r)

@@ -5,6 +5,7 @@ type spec = {
   reps : int;
   hop_prf : Crypto.Prf.Keyed.t;
   cipher : Crypto.Cipher.key;
+  scratch : Crypto.Cipher.scratch;
 }
 
 let log2 x = log x /. log 2.0
@@ -16,7 +17,8 @@ let make_spec ?(beta = 4.0) ~key ~cfg () =
     max 1 (int_of_float (ceil (beta *. float_of_int (t + 1) *. log2 (float_of_int (max n 4)))))
   in
   { key; channels = cfg.Radio.Config.channels; budget = t; reps;
-    hop_prf = Crypto.Prf.Keyed.create key; cipher = Crypto.Cipher.key key }
+    hop_prf = Crypto.Prf.Keyed.create key; cipher = Crypto.Cipher.key key;
+    scratch = Crypto.Cipher.scratch () }
 
 let hop spec ~round = Crypto.Prf.Keyed.channel_hop spec.hop_prf ~round ~channels:spec.channels
 
@@ -44,7 +46,9 @@ let broadcast spec ~sender ~seq msg =
     let round = Radio.Engine.current_round () in
     let chan = hop spec ~round in
     let payload = encode_payload ~sender ~seq msg in
-    let sealed = Crypto.Cipher.seal_keyed spec.cipher ~nonce:(Int64.of_int round) payload in
+    let sealed =
+      Crypto.Cipher.seal_scratch spec.cipher spec.scratch ~nonce:(Int64.of_int round) payload
+    in
     Radio.Engine.transmit ~chan (Radio.Frame.Sealed (Crypto.Cipher.encode sealed))
   done
 
@@ -58,7 +62,7 @@ let recv spec rng =
     | Some (Radio.Frame.Sealed blob) when !got = None ->
       (match Crypto.Cipher.decode blob with
        | Some sealed ->
-         (match Crypto.Cipher.open_keyed spec.cipher sealed with
+         (match Crypto.Cipher.open_scratch spec.cipher spec.scratch sealed with
           | Some payload -> got := decode_payload payload
           | None -> ())
        | None -> ())

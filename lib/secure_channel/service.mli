@@ -23,6 +23,9 @@ type spec = {
       (** prepared hop PRF for [key] — built once in {!make_spec}, queried
           every round *)
   cipher : Crypto.Cipher.key;  (** prepared seal/open key for [key] *)
+  scratch : Crypto.Cipher.scratch;
+      (** shared seal/open working buffers — safe because node fibers run
+          strictly sequentially within the engine's domain *)
 }
 
 val make_spec : ?beta:float -> key:string -> cfg:Radio.Config.t -> unit -> spec

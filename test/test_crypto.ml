@@ -335,6 +335,124 @@ let cipher_keyed_equals_oneshot =
       && Cipher.open_keyed ck keyed = Some plaintext
       && Cipher.open_keyed ck keyed = Cipher.open_ ~key keyed)
 
+(* -- batch entry points: byte-identical to the keyed per-message forms.
+
+   The mux service A/Bs batched against per-message crypto and asserts the
+   outputs are byte-identical; these properties are the foundation of that
+   claim.  One scratch is deliberately reused across the whole batch (and
+   across batches) to exercise buffer-reuse bugs. *)
+
+let batch_gen =
+  QCheck.(
+    pair
+      (string_of_size (Gen.int_range 0 60))
+      (small_list (string_of_size (Gen.int_range 0 120))))
+
+let sha_copy_into_equals_copy =
+  QCheck.Test.make ~name:"copy_into midstate = copy" ~count:200
+    QCheck.(pair (string_of_size (Gen.int_range 0 200)) (string_of_size (Gen.int_range 0 200)))
+    (fun (a, b) ->
+      let ctx = Sha256.init () in
+      Sha256.update ctx a;
+      let spare = Sha256.init () in
+      Sha256.copy_into ctx ~into:spare;
+      Sha256.update spare b;
+      let into = Bytes.create Sha256.digest_size in
+      Sha256.finalize_into spare into ~pos:0;
+      Bytes.to_string into = Sha256.digest (a ^ b))
+
+let hmac_mac_batch_equals_keyed =
+  QCheck.Test.make ~name:"mac_batch = mac_keyed per element" ~count:200 batch_gen
+    (fun (key, msgs) ->
+      let k = Hmac.key key in
+      let batch = Hmac.mac_batch k (Array.of_list msgs) in
+      List.for_all2
+        (fun m tag -> String.equal tag (Hmac.mac_keyed k m))
+        msgs (Array.to_list batch))
+
+let hmac_verify_batch_equals_keyed =
+  QCheck.Test.make ~name:"verify_batch accepts right, rejects flipped" ~count:200 batch_gen
+    (fun (key, msgs) ->
+      let k = Hmac.key key in
+      let arr = Array.of_list msgs in
+      let tags = Hmac.mac_batch k arr in
+      let ok = Hmac.verify_batch k ~tags arr in
+      let flipped =
+        Array.map
+          (fun tag ->
+            let b = Bytes.of_string tag in
+            Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+            Bytes.to_string b)
+          tags
+      in
+      let bad = Hmac.verify_batch k ~tags:flipped arr in
+      Array.for_all Fun.id ok && not (Array.exists Fun.id bad))
+
+let prf_keystream_into_equals_keystream =
+  QCheck.Test.make ~name:"keystream_into = keystream (shared scratch, offsets)" ~count:200
+    QCheck.(
+      quad
+        (string_of_size (Gen.int_range 0 60))
+        (string_of_size (Gen.int_range 0 20))
+        (int_range 0 300) (int_range 0 7))
+    (fun (key, nonce, len, pos) ->
+      let keyed = Prf.Keyed.create key in
+      let scratch = Prf.Keyed.scratch () in
+      let out = Bytes.make (pos + len) 'Z' in
+      Prf.Keyed.keystream_into keyed scratch ~nonce out ~pos ~len;
+      Bytes.sub_string out pos len = Prf.Keyed.keystream keyed ~nonce len
+      (* bytes before [pos] untouched *)
+      && String.for_all (Char.equal 'Z') (Bytes.sub_string out 0 pos))
+
+let cipher_batch_equals_keyed =
+  QCheck.Test.make ~name:"seal_batch/open_batch = seal_keyed/open_keyed" ~count:200
+    batch_gen
+    (fun (key, msgs) ->
+      let ck = Cipher.key key in
+      let scratch = Cipher.scratch () in
+      let arr = Array.of_list msgs in
+      let nonces = Array.mapi (fun i _ -> Int64.of_int (i * 7)) arr in
+      let batch = Cipher.seal_batch ck scratch ~nonces arr in
+      let singles = Array.mapi (fun i m -> Cipher.seal_keyed ck ~nonce:nonces.(i) m) arr in
+      let same_bytes =
+        Array.for_all2
+          (fun a b -> String.equal (Cipher.encode a) (Cipher.encode b))
+          batch singles
+      in
+      let reopened = Cipher.open_batch ck scratch batch in
+      let roundtrip =
+        Array.for_all2
+          (fun opened m ->
+            match opened with Some p -> String.equal p m | None -> false)
+          reopened arr
+      in
+      same_bytes && roundtrip)
+
+let cipher_batch_rejects_cross_frame_tamper () =
+  (* Swapping tags between two frames of one batch must fail both opens:
+     scratch reuse must not leak one frame's MAC state into the next. *)
+  let ck = Cipher.key "batch-key" in
+  let scratch = Cipher.scratch () in
+  let sealed =
+    Cipher.seal_batch ck scratch ~nonces:[| 1L; 2L |] [| "first frame"; "other frame" |]
+  in
+  let swapped =
+    [| { sealed.(0) with Cipher.tag = sealed.(1).Cipher.tag };
+       { sealed.(1) with Cipher.tag = sealed.(0).Cipher.tag } |]
+  in
+  let opened = Cipher.open_batch ck scratch swapped in
+  check Alcotest.bool "both rejected" true (Array.for_all (fun o -> o = None) opened)
+
+let batch_length_mismatch () =
+  let ck = Cipher.key "k" and k = Hmac.key "k" in
+  let scratch = Cipher.scratch () in
+  Alcotest.check_raises "seal_batch mismatch"
+    (Invalid_argument "Cipher.seal_batch: length mismatch") (fun () ->
+      ignore (Cipher.seal_batch ck scratch ~nonces:[| 1L |] [| "a"; "b" |]));
+  Alcotest.check_raises "verify_batch mismatch"
+    (Invalid_argument "Hmac.verify_batch: length mismatch") (fun () ->
+      ignore (Hmac.verify_batch k ~tags:[| "t" |] [| "a"; "b" |]))
+
 let () =
   Alcotest.run "crypto"
     [ ( "sha256",
@@ -345,6 +463,7 @@ let () =
           Alcotest.test_case "digest length" `Quick sha_length;
           qcheck sha_streaming_equals_oneshot;
           qcheck sha_feed_string_equals_update;
+          qcheck sha_copy_into_equals_copy;
           qcheck sha_distinct_inputs ] );
       ( "hmac",
         [ Alcotest.test_case "rfc4231 case 1" `Quick hmac_case1;
@@ -354,7 +473,9 @@ let () =
           qcheck hmac_verify_rejects_tamper;
           qcheck hmac_keyed_equals_oneshot;
           Alcotest.test_case "keyed handle reusable" `Quick hmac_keyed_reusable;
-          qcheck hmac_verify_wrong_length ] );
+          qcheck hmac_verify_wrong_length;
+          qcheck hmac_mac_batch_equals_keyed;
+          qcheck hmac_verify_batch_equals_keyed ] );
       ( "modarith",
         [ Alcotest.test_case "mulmod small reference" `Quick mulmod_matches_small;
           Alcotest.test_case "mulmod large" `Quick mulmod_large_no_overflow;
@@ -375,7 +496,8 @@ let () =
           qcheck prf_channel_hop_range;
           qcheck prf_keystream_length;
           qcheck prf_keyed_equals_oneshot;
-          qcheck prf_keyed_keystream_equals_oneshot ] );
+          qcheck prf_keyed_keystream_equals_oneshot;
+          qcheck prf_keystream_into_equals_keystream ] );
       ( "cipher",
         [ Alcotest.test_case "rejects tamper" `Quick cipher_rejects_tamper;
           Alcotest.test_case "hides plaintext" `Quick cipher_hides_plaintext;
@@ -383,4 +505,8 @@ let () =
           qcheck cipher_rejects_wrong_key;
           qcheck cipher_wire_roundtrip;
           qcheck cipher_decode_garbage;
-          qcheck cipher_keyed_equals_oneshot ] ) ]
+          qcheck cipher_keyed_equals_oneshot;
+          qcheck cipher_batch_equals_keyed;
+          Alcotest.test_case "batch cross-frame tamper" `Quick
+            cipher_batch_rejects_cross_frame_tamper;
+          Alcotest.test_case "batch length mismatch" `Quick batch_length_mismatch ] ) ]

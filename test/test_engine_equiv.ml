@@ -51,6 +51,7 @@ let same_result a b =
   && a.Engine.rounds_used = b.Engine.rounds_used
   && a.Engine.completed = b.Engine.completed
   && a.Engine.transcript = b.Engine.transcript
+  && a.Engine.channel_usage = b.Engine.channel_usage
 
 (* -- workload generation --------------------------------------------------
 
@@ -95,13 +96,14 @@ type params = {
   seed : int;
   steps : int;
   record : bool;
+  track : bool;  (** per-channel usage accounting on *)
   which : int;  (** adversary choice *)
   abort : bool;  (** run with a tiny [max_rounds] to exercise the abort path *)
 }
 
 let pp_params p =
-  Printf.sprintf "n=%d C=%d t=%d seed=%d steps=%d record=%b adv=%d abort=%b" p.n p.channels
-    p.t p.seed p.steps p.record p.which p.abort
+  Printf.sprintf "n=%d C=%d t=%d seed=%d steps=%d record=%b track=%b adv=%d abort=%b" p.n
+    p.channels p.t p.seed p.steps p.record p.track p.which p.abort
 
 let params_gen =
   QCheck.Gen.(
@@ -111,16 +113,17 @@ let params_gen =
     let* seed = int_range 1 1_000_000 in
     let* steps = int_range 0 25 in
     let* record = bool in
+    let* track = bool in
     let* which = int_range 0 5 in
     let* abort = bool in
-    return { n; channels; t; seed; steps; record; which; abort })
+    return { n; channels; t; seed; steps; record; track; which; abort })
 
 let params_arb = QCheck.make ~print:pp_params params_gen
 
 let config_of p =
   let max_rounds = if p.abort then 4 else 2_000_000 in
   Config.make ~n:p.n ~channels:p.channels ~t:p.t ~seed:(Int64.of_int p.seed) ~max_rounds
-    ~record_transcript:p.record ()
+    ~record_transcript:p.record ~track_channels:p.track ()
 
 let run_with core ?pool ?shard_min p =
   let cfg = config_of p in
@@ -166,8 +169,8 @@ let sharded_equals_serial =
 (* -- deterministic spot checks -- *)
 
 let base_params =
-  { n = 24; channels = 4; t = 2; seed = 7; steps = 18; record = true; which = 3;
-    abort = false }
+  { n = 24; channels = 4; t = 2; seed = 7; steps = 18; record = true; track = false;
+    which = 3; abort = false }
 
 let idle_parking_parity () =
   (* Pure idle_for spans: the sparse core fast-forwards over parked rounds
@@ -253,6 +256,29 @@ let sharded_large_round_parity () =
             true (same_result serial sharded)))
     [ 1; 2; 4 ]
 
+let channel_usage_totals_match_stats () =
+  (* The per-channel counters are a refinement of the global stats: summed
+     over channels they must reproduce deliveries and collisions exactly,
+     on both cores. *)
+  let p = { base_params with track = true; which = 1 } in
+  let check_core label run =
+    let r = run p in
+    match r.Engine.channel_usage with
+    | None -> Alcotest.failf "%s: track_channels on but no usage" label
+    | Some u ->
+      let sum = Array.fold_left ( + ) 0 in
+      check Alcotest.int (label ^ " deliveries") r.Engine.stats.Transcript.Stats.deliveries
+        (sum u.Transcript.Channel_usage.deliveries);
+      check Alcotest.int (label ^ " collisions") r.Engine.stats.Transcript.Stats.collisions
+        (sum u.Transcript.Channel_usage.collisions)
+  in
+  check_core "sparse" (run_with `Sparse);
+  check_core "reference" (run_with `Reference)
+
+let untracked_has_no_usage () =
+  let r = run_with `Sparse { base_params with track = false } in
+  check Alcotest.bool "no usage when off" true (r.Engine.channel_usage = None)
+
 (* -- Adversary.validate: the null path must never allocate -- *)
 
 let validate_empty_no_alloc () =
@@ -284,7 +310,10 @@ let () =
           Alcotest.test_case "idle parking parity" `Quick idle_parking_parity;
           Alcotest.test_case "abort with parked fibers" `Quick abort_with_parked_fibers;
           Alcotest.test_case "staggered wakes parity" `Quick staggered_wakes_parity;
-          Alcotest.test_case "run_nodes = run" `Quick run_nodes_equals_run ] );
+          Alcotest.test_case "run_nodes = run" `Quick run_nodes_equals_run;
+          Alcotest.test_case "channel usage totals = stats" `Quick
+            channel_usage_totals_match_stats;
+          Alcotest.test_case "usage absent when off" `Quick untracked_has_no_usage ] );
       ( "sharding",
         [ qcheck sharded_equals_serial;
           Alcotest.test_case "large round jobs 1/2/4" `Quick sharded_large_round_parity ] );

@@ -1,0 +1,228 @@
+(* Tests for the multiplexed secure-channel service: replay windows, epoch
+   re-keying, backpressure, crypto-mode equivalence (batched vs per-message
+   byte identity), pool-size determinism, and both transports end-to-end. *)
+
+module Mux = Secure_channel.Mux
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let key = Crypto.Sha256.digest "mux-test-group-key"
+
+(* ------------------------------------------------------------------ *)
+(* Window properties (against a naive reference model).                *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference model: remember every delivered seq and the running maximum. *)
+let window_matches_model =
+  QCheck.Test.make ~name:"window matches naive model" ~count:300
+    QCheck.(pair (int_range 1 62) (small_list (int_range 0 80)))
+    (fun (width, seqs) ->
+      let w = Mux.Window.create ~width in
+      let delivered = Hashtbl.create 16 in
+      let hi = ref (-1) in
+      List.for_all
+        (fun seq ->
+          let expect =
+            if !hi >= 0 && seq <= !hi && !hi - seq >= width then Mux.Window.Out_of_window
+            else if Hashtbl.mem delivered seq then Mux.Window.Duplicate
+            else Mux.Window.Fresh
+          in
+          let got = Mux.Window.check w seq in
+          let ok =
+            match (got, expect) with
+            | Mux.Window.Fresh, Mux.Window.Fresh
+            | Mux.Window.Duplicate, Mux.Window.Duplicate
+            | Mux.Window.Out_of_window, Mux.Window.Out_of_window -> true
+            | _ -> false
+          in
+          (match got with
+          | Mux.Window.Fresh ->
+            Mux.Window.note w seq;
+            Hashtbl.replace delivered seq ();
+            hi := max !hi seq
+          | Mux.Window.Duplicate | Mux.Window.Out_of_window -> ());
+          ok && Mux.Window.highest w = !hi)
+        seqs)
+
+let window_duplicate_after_note () =
+  let w = Mux.Window.create ~width:8 in
+  Mux.Window.note w 5;
+  (match Mux.Window.check w 5 with
+  | Mux.Window.Duplicate -> ()
+  | _ -> Alcotest.fail "seq 5 should be a duplicate");
+  (match Mux.Window.check w 6 with
+  | Mux.Window.Fresh -> ()
+  | _ -> Alcotest.fail "seq 6 should be fresh");
+  Mux.Window.note w 20;
+  (* 5 fell more than width-1 below the new top. *)
+  match Mux.Window.check w 5 with
+  | Mux.Window.Out_of_window -> ()
+  | _ -> Alcotest.fail "seq 5 should now be out of window"
+
+let window_rejects_bad_width () =
+  Alcotest.check_raises "width 0" (Invalid_argument "Mux.Window.create: width must be in 1..62")
+    (fun () -> ignore (Mux.Window.create ~width:0));
+  Alcotest.check_raises "width 63" (Invalid_argument "Mux.Window.create: width must be in 1..62")
+    (fun () -> ignore (Mux.Window.create ~width:63))
+
+(* ------------------------------------------------------------------ *)
+(* Epoch verdict properties.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let epoch_verdict_properties =
+  QCheck.Test.make ~name:"epoch verdict: current always, previous in grace, rest stale"
+    ~count:500
+    QCheck.(
+      quad (int_range 1 50) (int_range 0 50) (int_range 0 2000) (int_range (-2) 130))
+    (fun (epoch_len, grace_raw, now, frame_epoch) ->
+      let grace = min grace_raw epoch_len in
+      let cur = now / epoch_len in
+      let got = Mux.epoch_verdict ~epoch_len ~grace ~now ~frame_epoch in
+      let expect =
+        if frame_epoch = cur then Mux.Current
+        else if frame_epoch = cur - 1 && now mod epoch_len < grace then Mux.Previous
+        else Mux.Stale
+      in
+      match (got, expect) with
+      | Mux.Current, Mux.Current | Mux.Previous, Mux.Previous | Mux.Stale, Mux.Stale ->
+        true
+      | _ -> false)
+
+let epoch_boundary_cases () =
+  (* epoch_len 10, grace 3: rounds 10,11,12 still accept epoch 0; 13 no. *)
+  let v ~now ~fe = Mux.epoch_verdict ~epoch_len:10 ~grace:3 ~now ~frame_epoch:fe in
+  (match v ~now:10 ~fe:0 with Mux.Previous -> () | _ -> Alcotest.fail "grace start");
+  (match v ~now:12 ~fe:0 with Mux.Previous -> () | _ -> Alcotest.fail "grace end");
+  (match v ~now:13 ~fe:0 with Mux.Stale -> () | _ -> Alcotest.fail "stale after grace");
+  (match v ~now:12 ~fe:1 with Mux.Current -> () | _ -> Alcotest.fail "current epoch");
+  (match v ~now:5 ~fe:1 with Mux.Stale -> () | _ -> Alcotest.fail "future epoch stale");
+  match v ~now:25 ~fe:0 with Mux.Stale -> () | _ -> Alcotest.fail "two epochs back"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end runs.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let null = Radio.Adversary.null
+
+let jammer seed budget = Radio.Adversary.random_jammer (Prng.Rng.create seed) ~channels:8 ~budget
+
+let base_spec ?(crypto = Mux.Batched) ?(transport = Mux.Acked) ?(rounds = 40)
+    ?(logical = 24) ?(rate = 1) ?(queue_cap = 8) ?(outsiders = 0) () =
+  Mux.make ~key ~logical ~phys:8 ~budget:2 ~transport ~crypto ~rounds ~rate ~queue_cap
+    ~epoch_len:8 ~grace:3 ~outsiders ~seed:11L ()
+
+let acked_null_delivers () =
+  let r = Mux.run (base_spec ()) ~adversary:null in
+  check Alcotest.bool "completed" true r.Mux.engine.Radio.Engine.completed;
+  check Alcotest.bool "delivers plenty" true (r.Mux.stats.Mux.delivered > 500);
+  check Alcotest.int "no forged accepts" 0 r.Mux.stats.Mux.forged_accepts;
+  check Alcotest.int "no leaks" 0 r.Mux.stats.Mux.plaintext_leaks;
+  check Alcotest.bool "acks retire heads" true (r.Mux.stats.Mux.acked > 500);
+  check Alcotest.bool "epochs rolled" true (r.Mux.stats.Mux.rekeys >= 4);
+  (* Under the null adversary nothing is lost: every slot is collision-free
+     by construction, so no retransmissions and no duplicates. *)
+  check Alcotest.int "no retransmissions" 0 r.Mux.stats.Mux.retransmissions;
+  check Alcotest.int "no duplicates" 0 r.Mux.stats.Mux.duplicates
+
+let acked_jamming_retransmits () =
+  let r = Mux.run (base_spec ~rounds:60 ()) ~adversary:(jammer 5L 2) in
+  check Alcotest.bool "completed" true r.Mux.engine.Radio.Engine.completed;
+  check Alcotest.bool "still delivers" true (r.Mux.stats.Mux.delivered > 200);
+  check Alcotest.bool "jamming forces retransmissions" true
+    (r.Mux.stats.Mux.retransmissions > 0);
+  check Alcotest.int "authentication holds" 0 r.Mux.stats.Mux.forged_accepts;
+  check Alcotest.int "secrecy holds" 0 r.Mux.stats.Mux.plaintext_leaks
+
+let backpressure_sheds () =
+  (* Offered load of 3/round into a queue of 2 under jamming must shed. *)
+  let r = Mux.run (base_spec ~rounds:30 ~rate:3 ~queue_cap:2 ()) ~adversary:(jammer 7L 2) in
+  check Alcotest.bool "sheds under overload" true (r.Mux.stats.Mux.shed > 0);
+  check Alcotest.int "offered = rate * channels * rounds"
+    (3 * 24 * 30) r.Mux.stats.Mux.offered
+
+let outsiders_cannot_read_or_forge () =
+  let r = Mux.run (base_spec ~rounds:40 ~outsiders:3 ()) ~adversary:null in
+  check Alcotest.bool "outsiders overheard traffic" true (r.Mux.stats.Mux.snooped > 0);
+  check Alcotest.int "secrecy: no outsider decryption" 0 r.Mux.stats.Mux.plaintext_leaks;
+  check Alcotest.int "authenticity: no forged accepts" 0 r.Mux.stats.Mux.forged_accepts;
+  (* Outsider injections that land on a listened slot die on the MAC. *)
+  check Alcotest.bool "service still works" true (r.Mux.stats.Mux.delivered > 500)
+
+let crypto_modes_byte_identical () =
+  List.iter
+    (fun mk_adversary ->
+      (* A fresh adversary per run: random_jammer carries mutable rng state. *)
+      let a = Mux.run (base_spec ~crypto:Mux.Batched ~rounds:30 ()) ~adversary:(mk_adversary ()) in
+      let b = Mux.run (base_spec ~crypto:Mux.Per_message ~rounds:30 ()) ~adversary:(mk_adversary ()) in
+      check Alcotest.string "render_stats identical across crypto modes"
+        (Mux.render_stats a) (Mux.render_stats b);
+      check Alcotest.string "digest identical" (Mux.output_digest a) (Mux.output_digest b))
+    [ (fun () -> null); (fun () -> jammer 3L 2) ]
+
+let pool_sizes_byte_identical () =
+  let run pool = Mux.run ?pool (base_spec ~rounds:30 ~outsiders:2 ()) ~adversary:(jammer 9L 2) in
+  let solo = run None in
+  List.iter
+    (fun domains ->
+      Parallel.Pool.with_pool ~domains (fun pool ->
+          let r = run (Some pool) in
+          check Alcotest.string
+            (Printf.sprintf "render_stats identical at %d domains" domains)
+            (Mux.render_stats solo) (Mux.render_stats r)))
+    [ 2; 4 ]
+
+let repeat_transport_full_delivery () =
+  let spec =
+    base_spec ~transport:(Mux.Repeat { reps = 12; group = 5 }) ~logical:2 ~rounds:25 ()
+  in
+  let r = Mux.run spec ~adversary:(jammer 13L 2) in
+  check Alcotest.bool "completed" true r.Mux.engine.Radio.Engine.completed;
+  check Alcotest.bool "heads retired" true (r.Mux.stats.Mux.messages_done > 0);
+  check Alcotest.bool "most heads reach every receiver" true
+    (r.Mux.stats.Mux.full_deliveries * 10 >= r.Mux.stats.Mux.messages_done * 8);
+  check Alcotest.int "no forged accepts" 0 r.Mux.stats.Mux.forged_accepts;
+  let b =
+    Mux.run
+      { spec with Mux.crypto = Mux.Per_message }
+      ~adversary:(jammer 13L 2)
+  in
+  check Alcotest.string "repeat crypto modes identical" (Mux.render_stats r)
+    (Mux.render_stats b)
+
+let latency_percentiles_sane () =
+  let r = Mux.run (base_spec ~rounds:40 ()) ~adversary:null in
+  let p50 = Mux.latency_percentile r 0.50 and p99 = Mux.latency_percentile r 0.99 in
+  check Alcotest.bool "p50 <= p99" true (p50 <= p99);
+  (* Null adversary: everything delivers the round it is sent. *)
+  check Alcotest.int "null-adversary p99 latency" 0 p99
+
+let spec_validation () =
+  Alcotest.check_raises "budget >= phys"
+    (Invalid_argument "Mux.make: need 0 <= budget < phys") (fun () ->
+      ignore (Mux.make ~key ~logical:4 ~phys:4 ~budget:4 ~rounds:10 ()));
+  Alcotest.check_raises "grace > epoch_len"
+    (Invalid_argument "Mux.make: need 0 <= grace <= epoch_len") (fun () ->
+      ignore (Mux.make ~key ~logical:4 ~phys:4 ~budget:1 ~rounds:10 ~epoch_len:4 ~grace:5 ()))
+
+let () =
+  Alcotest.run "mux"
+    [ ( "window",
+        [ qcheck window_matches_model;
+          Alcotest.test_case "duplicate and eviction" `Quick window_duplicate_after_note;
+          Alcotest.test_case "width validation" `Quick window_rejects_bad_width ] );
+      ( "epoch",
+        [ qcheck epoch_verdict_properties;
+          Alcotest.test_case "boundary cases" `Quick epoch_boundary_cases ] );
+      ( "acked",
+        [ Alcotest.test_case "null adversary delivers" `Quick acked_null_delivers;
+          Alcotest.test_case "jamming retransmits" `Quick acked_jamming_retransmits;
+          Alcotest.test_case "backpressure sheds" `Quick backpressure_sheds;
+          Alcotest.test_case "outsiders blocked" `Quick outsiders_cannot_read_or_forge;
+          Alcotest.test_case "latency sane" `Quick latency_percentiles_sane;
+          Alcotest.test_case "spec validation" `Quick spec_validation ] );
+      ( "determinism",
+        [ Alcotest.test_case "crypto modes byte-identical" `Quick crypto_modes_byte_identical;
+          Alcotest.test_case "pool sizes byte-identical" `Quick pool_sizes_byte_identical ] );
+      ( "repeat",
+        [ Alcotest.test_case "full delivery under jamming" `Quick repeat_transport_full_delivery ] ) ]
