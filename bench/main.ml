@@ -330,6 +330,31 @@ let pop_engine_sparse ~n ~rounds () =
   in
   result.Radio.Engine.rounds_used
 
+(* One iteration = one [Schedule.build] over a busy 16-channel proposal plus
+   a full [role_of] + [witness_channel] sweep across all n nodes — the
+   protocol's per-move query pattern, dominated by the inverted role index.
+   Returns the total query count, so ns_per_run normalizes to one indexed
+   role query (the build amortized in) and ops_per_sec reads as queries/sec. *)
+let pop_schedule ~n ~iters () =
+  let channels = 16 in
+  let proposal = List.init channels (fun i -> Game.State.Edge (2 * i, (2 * i) + 1)) in
+  let scratch = Ame.Schedule.make_scratch () in
+  let acc = ref 0 in
+  for _ = 1 to iters do
+    let sched =
+      Ame.Schedule.build ~scratch ~proposal ~surrogates:(fun _ -> [||]) ~n
+        ~witness_size:channels ~watchers_per_channel:(3 * channels) ()
+    in
+    for id = 0 to n - 1 do
+      (match Ame.Schedule.role_of sched id with
+      | Ame.Schedule.Broadcast _ -> incr acc
+      | Ame.Schedule.Receive _ | Ame.Schedule.Watch _ | Ame.Schedule.Off -> ());
+      match Ame.Schedule.witness_channel sched id with Some _ -> incr acc | None -> ()
+    done
+  done;
+  ignore (Sys.opaque_identity !acc);
+  iters * n
+
 let pop_fame ~n () =
   let cfg = Radio.Config.make ~n ~channels:2 ~t:1 ~seed:5L () in
   let pairs = Rgraph.Workload.disjoint_pairs ~n ~count:4 in
@@ -357,7 +382,13 @@ let population_rows ~huge =
   @ [ ( "population/engine-sparse-n1e5",
         pop_runs,
         fun () -> pop_engine_sparse ~n:n5 ~rounds:5000 () );
-      ("population/fame-pair-hop-n1e5", pop_runs, fun () -> pop_fame ~n:n5 ()) ]
+      ("population/fame-pair-hop-n1e5", pop_runs, fun () -> pop_fame ~n:n5 ());
+      ( "schedule/build-role-sweep-n1e4",
+        pop_runs,
+        fun () -> pop_schedule ~n:10_000 ~iters:5_000 () );
+      ( "schedule/build-role-sweep-n1e5",
+        pop_runs,
+        fun () -> pop_schedule ~n:n5 ~iters:500 () ) ]
   @
   if not huge then []
   else
@@ -411,11 +442,16 @@ let run_population ~huge =
 module Mux = Secure_channel.Mux
 
 let service_runs = 3
-let service_emulated_rounds = 6
 
-let service_spec ~channels ~crypto =
+(* Enough emulated rounds that one-off edges — queue ramp-up at the start,
+   the piggybacked mode's single flush round at the end — amortize into the
+   steady state being measured: at 6 rounds the flush round alone inflated
+   the piggybacked side's per-message cost by a sixth. *)
+let service_emulated_rounds = 24
+
+let service_spec ?(ack_mode = Mux.Slotted) ~channels ~crypto () =
   Mux.make ~key:"bench-service-group-key" ~logical:channels ~phys:16 ~budget:4
-    ~crypto ~rounds:service_emulated_rounds ~rate:1 ~queue_cap:8 ~window:32
+    ~ack_mode ~crypto ~rounds:service_emulated_rounds ~rate:1 ~queue_cap:8 ~window:32
     ~epoch_len:2 ~grace:1 ~payload:16 ~seed:42L ()
 
 (* Fresh adversary per run: random_jammer holds mutable PRNG state, and
@@ -428,42 +464,83 @@ type service_det = { service_id : string; service_rounds : int; service_sha : st
 
 let run_service ~jobs ~channels_list =
   print_endline "\n== Service throughput (plain timed, median of alternating A/B runs) ==\n";
-  Printf.printf "  %-22s %8s %10s %10s %8s %6s\n" "cell" "msgs" "batched s" "permsg s"
-    "speedup" "p99";
+  Printf.printf "  %-22s %8s %10s %10s %8s %10s %8s %6s\n" "cell" "msgs" "batched s"
+    "permsg s" "speedup" "pig s" "pig-x" "p99";
   Parallel.Pool.with_pool ~domains:jobs (fun pool ->
       List.concat_map
         (fun channels ->
+          (* Piggybacked acks need an even duplex-paired channel count. *)
+          let pig_ok = channels land 1 = 0 in
           List.concat_map
             (fun (adv_name, mk_adv) ->
-              let one crypto =
-                let spec = service_spec ~channels ~crypto in
+              let one ?ack_mode crypto =
+                let spec = service_spec ?ack_mode ~channels ~crypto () in
                 Parallel.Clock.time (fun () -> Mux.run ~pool spec ~adversary:(mk_adv ()))
               in
+              (* Strict alternation B,P,G,B,P,G,... so machine-load drift
+                 cancels out of every pairwise comparison. *)
               let runs =
-                List.init service_runs (fun _ -> (one Mux.Batched, one Mux.Per_message))
+                List.init service_runs (fun _ ->
+                    ( one Mux.Batched,
+                      one Mux.Per_message,
+                      if pig_ok then Some (one ~ack_mode:Mux.Piggybacked Mux.Batched)
+                      else None ))
               in
-              let sample = fst (fst (List.hd runs)) in
+              let sample = match List.hd runs with b, _, _ -> fst b in
               let sha = Mux.output_digest sample in
+              let pig_sample =
+                match List.hd runs with _, _, Some g -> Some (fst g) | _, _, None -> None
+              in
+              let pig_sha = Option.map Mux.output_digest pig_sample in
               List.iteri
-                (fun i ((b, _), (p, _)) ->
+                (fun i (b, p, g) ->
+                  let checks =
+                    [ ("batched", fst b, sha); ("per-message", fst p, sha) ]
+                    @
+                    match (g, pig_sha) with
+                    | Some (r, _), Some psha -> [ ("piggybacked", r, psha) ]
+                    | _ -> []
+                  in
                   List.iter
-                    (fun (mode, (r : Mux.result)) ->
-                      if Mux.output_digest r <> sha then (
+                    (fun (mode, (r : Mux.result), expect) ->
+                      if Mux.output_digest r <> expect then (
                         Printf.eprintf
-                          "service/c%d-%s: %s run %d diverged from run 0 (crypto modes \
-                           are not byte-identical)\n"
+                          "service/c%d-%s: %s run %d diverged from run 0 (runs are not \
+                           byte-identical)\n"
                           channels adv_name mode i;
                         exit 1))
-                    [ ("batched", b); ("per-message", p) ])
+                    checks)
                 runs;
               let msgs = sample.Mux.stats.Mux.delivered in
-              let med_b = median (List.map (fun ((_, s), _) -> s) runs) in
-              let med_p = median (List.map (fun (_, (_, s)) -> s) runs) in
+              let med_b = median (List.map (fun ((_, s), _, _) -> s) runs) in
+              let med_p = median (List.map (fun (_, (_, s), _) -> s) runs) in
+              let pig =
+                match pig_sample with
+                | None -> None
+                | Some ps ->
+                  let med_g =
+                    median
+                      (List.filter_map (fun (_, _, g) -> Option.map snd g) runs)
+                  in
+                  Some (ps, med_g)
+              in
               let p99 = Mux.latency_percentile sample 0.99 in
-              Printf.printf "  %-22s %8d %10.3f %10.3f %7.2fx %6d\n%!"
-                (Printf.sprintf "c%d-%s" channels adv_name)
-                msgs med_b med_p (med_p /. med_b) p99;
-              let per_msg_ns wall =
+              let mps msgs wall = float_of_int msgs /. wall in
+              (match pig with
+              | Some (ps, med_g) ->
+                (* Throughput ratio, not raw wall-clock: the two ack modes
+                   deliver (slightly) different message counts under load. *)
+                let pig_x =
+                  mps ps.Mux.stats.Mux.delivered med_g /. mps msgs med_b
+                in
+                Printf.printf "  %-22s %8d %10.3f %10.3f %7.2fx %10.3f %7.2fx %6d\n%!"
+                  (Printf.sprintf "c%d-%s" channels adv_name)
+                  msgs med_b med_p (med_p /. med_b) med_g pig_x p99
+              | None ->
+                Printf.printf "  %-22s %8d %10.3f %10.3f %7.2fx %10s %8s %6d\n%!"
+                  (Printf.sprintf "c%d-%s" channels adv_name)
+                  msgs med_b med_p (med_p /. med_b) "-" "-" p99);
+              let per_msg_ns msgs wall =
                 if msgs > 0 then wall *. 1e9 /. float_of_int msgs else nan
               in
               let row name ns =
@@ -473,24 +550,39 @@ let run_service ~jobs ~channels_list =
               let micro =
                 [ row
                     (Printf.sprintf "service/msgs-per-sec-c%d-%s-batched" channels adv_name)
-                    (per_msg_ns med_b);
+                    (per_msg_ns msgs med_b);
                   row
                     (Printf.sprintf "service/msgs-per-sec-c%d-%s-permsg" channels adv_name)
-                    (per_msg_ns med_p);
+                    (per_msg_ns msgs med_p);
                   row
                     (Printf.sprintf "service/p99-latency-rounds-c%d-%s" channels adv_name)
                     (float_of_int p99) ]
+                @
+                match pig with
+                | Some (ps, med_g) ->
+                  [ row
+                      (Printf.sprintf "service/msgs-per-sec-c%d-%s-piggyback" channels
+                         adv_name)
+                      (per_msg_ns ps.Mux.stats.Mux.delivered med_g) ]
+                | None -> []
               in
               let det =
                 { service_id = Printf.sprintf "service/c%d-%s" channels adv_name;
                   service_rounds = sample.Mux.engine.Radio.Engine.rounds_used;
                   service_sha = sha }
+                ::
+                (match (pig_sample, pig_sha) with
+                | Some ps, Some psha ->
+                  [ { service_id = Printf.sprintf "service/c%d-%s-piggyback" channels adv_name;
+                      service_rounds = ps.Mux.engine.Radio.Engine.rounds_used;
+                      service_sha = psha } ]
+                | _ -> [])
               in
               [ (micro, det) ])
             service_adversaries)
         channels_list)
   |> List.split
-  |> fun (micro, det) -> (List.concat micro, det)
+  |> fun (micro, det) -> (List.concat micro, List.concat det)
 
 let render_outcome (o : Experiments.Runner.outcome) =
   Format.printf "@.### %s: %s@." o.experiment.Experiments.Registry.id

@@ -12,6 +12,13 @@
                                summarizing CURRENT (and its speedup vs
                                BASELINE) to the JSON history file at PATH,
                                creating it if absent
+     --history-trend PATH      compare CURRENT micro timings against the most
+                               recent entry of the history file at PATH and
+                               print a TREND row for every benchmark slower
+                               by more than 25%% (informational only: like
+                               every timing signal, it never changes the
+                               exit status; a missing or empty history file
+                               is skipped with a note)
 
    Determinism fields (per-experiment total_rounds and output_sha256, and
    sha-consistency across any --jobs-sweep rows) are a hard gate: any
@@ -136,10 +143,61 @@ let append_history ~path entry =
       output_char oc '\n');
   Printf.printf "history: appended entry %d to %s\n" (List.length entries) path
 
+(* -- history trend (informational): CURRENT vs the last history entry --
+
+   Nightly legs append an entry per run, so "the last entry" is yesterday's
+   measurement on the same class of machine — a much fairer timing referent
+   than a baseline checked in from a developer laptop.  Regressions beyond
+   the fixed 25% threshold are printed and nothing more: day-to-day CI
+   noise makes timing a trend to read, not a gate to trip. *)
+
+let history_trend_threshold_pct = 25.0
+
+let report_history_trend ~path ~cur_micro =
+  match load_history path with
+  | [] -> Printf.printf "trend: no history entries at %s yet, skipping\n" path
+  | entries ->
+    let last = List.nth entries (List.length entries - 1) in
+    let last_micro =
+      match Option.bind (Json.member "micro" last) Json.to_list with
+      | Some rows -> assoc_rows ~key_field:"name" rows
+      | None -> []
+    in
+    let when_ =
+      Option.value ~default:"(undated)"
+        (Option.bind (Json.member "recorded_utc" last) Json.to_string_opt)
+    in
+    let regressions =
+      List.filter_map
+        (fun (name, cur_row) ->
+          match
+            ( Option.bind (List.assoc_opt name last_micro) (float_field "ns_per_run"),
+              float_field "ns_per_run" cur_row )
+          with
+          | Some prev, Some cur
+            when prev > 0.0 && cur > 0.0
+                 && (cur -. prev) /. prev *. 100.0 > history_trend_threshold_pct ->
+            Some (name, (cur -. prev) /. prev *. 100.0)
+          | _ -> None)
+        cur_micro
+    in
+    (match regressions with
+     | [] ->
+       Printf.printf "trend: all micro-benchmarks within %.0f%% of the last history entry (%s)\n"
+         history_trend_threshold_pct when_
+     | rs ->
+       Printf.printf
+         "trend: %d micro-benchmark(s) slower than the last history entry (%s) by more \
+          than %.0f%%:\n"
+         (List.length rs) when_ history_trend_threshold_pct;
+       List.iter (fun (name, d) -> Printf.printf "  TREND %-36s +%.1f%%\n" name d) rs;
+       print_endline "  (informational only: timing never affects the exit status)")
+
 type cli = {
   tolerance : float option;
   require_bench : string list;
   history : string option;
+  history_trend : string option;
   paths : string list;
 }
 
@@ -147,7 +205,7 @@ let () =
   let usage () =
     prerr_endline
       "usage: bench_compare [--timing-tolerance PCT] [--require-bench PREFIXES] \
-       [--append-history PATH] BASELINE.json CURRENT.json";
+       [--append-history PATH] [--history-trend PATH] BASELINE.json CURRENT.json";
     exit 2
   in
   let rec parse acc = function
@@ -164,12 +222,14 @@ let () =
       | [] -> usage ()
       | _ -> parse { acc with require_bench = acc.require_bench @ prefixes } rest)
     | "--append-history" :: path :: rest -> parse { acc with history = Some path } rest
+    | "--history-trend" :: path :: rest -> parse { acc with history_trend = Some path } rest
     | flag :: _ when String.length flag > 2 && String.sub flag 0 2 = "--" -> usage ()
     | path :: rest -> parse { acc with paths = acc.paths @ [ path ] } rest
   in
   let cli =
     parse
-      { tolerance = None; require_bench = []; history = None; paths = [] }
+      { tolerance = None; require_bench = []; history = None; history_trend = None;
+        paths = [] }
       (List.tl (Array.to_list Sys.argv))
   in
   let tolerance = cli.tolerance in
@@ -263,6 +323,11 @@ let () =
     (fun p ->
       Printf.printf "MISSING no micro-benchmark in %s matches prefix %S\n" current_path p)
     missing_families;
+  (* The trend runs before any --append-history write, so it always compares
+     against the previous run's entry, never the one being recorded now. *)
+  (match cli.history_trend with
+   | Some path -> report_history_trend ~path ~cur_micro
+   | None -> ());
   let determinism_ok = !drift = 0 in
   (match cli.history with
    | Some path ->

@@ -128,18 +128,34 @@ let service_cmd =
   let jam_arg =
     Arg.(value & flag & info [ "jam" ] ~doc:"Random jammer spending the full budget (-t).")
   in
-  let run seed t channels phys rounds epoch_len outsiders crypto jam =
+  let ack_arg =
+    Arg.(
+      value & opt string "slotted"
+      & info [ "ack-mode" ] ~docv:"MODE"
+          ~doc:
+            "Ack mode: slotted (dedicated ack phase) or piggybacked (cumulative acks ride \
+             in duplex-paired data frames; needs an even channel count).")
+  in
+  let run seed t channels phys rounds epoch_len outsiders crypto ack_mode jam =
     match
-      match crypto with
-      | "batched" -> Ok Mux.Batched
-      | "per-message" | "permsg" -> Ok Mux.Per_message
-      | other -> Error (Printf.sprintf "unknown crypto mode %S (batched, per-message)" other)
+      match
+        match crypto with
+        | "batched" -> Ok Mux.Batched
+        | "per-message" | "permsg" -> Ok Mux.Per_message
+        | other -> Error (Printf.sprintf "unknown crypto mode %S (batched, per-message)" other)
+      with
+      | Error _ as e -> e
+      | Ok crypto -> (
+        match ack_mode with
+        | "slotted" -> Ok (crypto, Mux.Slotted)
+        | "piggybacked" | "pig" -> Ok (crypto, Mux.Piggybacked)
+        | other -> Error (Printf.sprintf "unknown ack mode %S (slotted, piggybacked)" other))
     with
     | Error msg -> `Error (false, msg)
-    | Ok crypto ->
+    | Ok (crypto, ack_mode) ->
       let spec =
         Mux.make ~key:"radio-sim-service-key" ~logical:channels ~phys ~budget:t ~crypto
-          ~rounds ~epoch_len ~grace:(max 1 (epoch_len / 4)) ~outsiders ~seed ()
+          ~ack_mode ~rounds ~epoch_len ~grace:(max 1 (epoch_len / 4)) ~outsiders ~seed ()
       in
       let adversary =
         if jam then
@@ -157,7 +173,7 @@ let service_cmd =
     Term.(
       ret
         (const run $ seed_arg $ t_arg $ channels_arg $ phys_arg $ rounds_arg $ epoch_arg
-       $ outsiders_arg $ crypto_arg $ jam_arg))
+       $ outsiders_arg $ crypto_arg $ ack_arg $ jam_arg))
 
 let game_cmd =
   let nodes_arg =

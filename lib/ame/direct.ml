@@ -47,7 +47,7 @@ let run ?(ame_params = Params.default) ?channels_used ~cfg ~pairs ~messages ~adv
       else begin
         let proposal = List.map (fun e -> Game.State.Edge e) batch in
         match
-          Schedule.build ~scratch:sched_scratch ~proposal ~surrogates:(fun _ -> []) ~n
+          Schedule.build ~scratch:sched_scratch ~proposal ~surrogates:(fun _ -> [||]) ~n
             ~witness_size:channels ~watchers_per_channel ()
         with
         | exception Schedule.Divergence _ -> diverged := true
@@ -70,7 +70,7 @@ let run ?(ame_params = Params.default) ?channels_used ~cfg ~pairs ~messages ~adv
           let my_flag = Option.is_some !my_recv in
           let d =
             Feedback.run ~my_id:id ~rng:ctx.rng ~channels ~reps
-              ~witnesses:sched.Schedule.witnesses ~my_flag
+              ~witnesses:sched.Schedule.watchers ~witness_size:channels ~my_flag
           in
           let successes = List.filter (fun c -> c < Array.length sched.Schedule.items) d in
           List.iter

@@ -76,10 +76,10 @@ let run ?(ame_params = Params.default) ?channels_used ?(feedback_mode = Sequenti
   let node_body (ctx : Radio.Engine.ctx) =
     let id = ctx.id in
     let state = ref initial_state in
-    let surrogate_map : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+    let surrogate_map : (int, int array) Hashtbl.t = Hashtbl.create 16 in
     let known : (int, (int * string) list) Hashtbl.t = Hashtbl.create 16 in
     Hashtbl.replace known id (vector_for id);
-    let surrogates v = Option.value (Hashtbl.find_opt surrogate_map v) ~default:[] in
+    let surrogates v = Option.value (Hashtbl.find_opt surrogate_map v) ~default:[||] in
     let rec play () =
       match Game.Greedy.proposal !state with
       | None -> ()
@@ -100,9 +100,15 @@ let run ?(ame_params = Params.default) ?channels_used ?(feedback_mode = Sequenti
          | sched ->
            let msg_round = Radio.Engine.current_round () in
            Oracle.post board ~round:msg_round (Schedule.oracle_entry sched);
+           (* Query the role once, right after the build: the inverted index
+              is still generation-current here (no suspension since the
+              build), so this is the O(1) path; the role is reused below in
+              the successes pass, where interleaved builds by other fibers
+              have already retired the index. *)
+           let my_role = Schedule.role_of sched id in
            (* Message-transmission phase: one round. *)
            let my_recv = ref None in
-           (match Schedule.role_of sched id with
+           (match my_role with
             | Schedule.Broadcast { channel; owner } ->
               (match Hashtbl.find_opt known owner with
                | Some entries ->
@@ -135,10 +141,10 @@ let run ?(ame_params = Params.default) ?channels_used ?(feedback_mode = Sequenti
            let d =
              if tree_this_move then
                Tree_feedback.run ~my_id:id ~rng:ctx.rng ~channels ~budget ~reps:tree_reps
-                 ~witnesses:sched.Schedule.witnesses ~my_flag
+                 ~witnesses:sched.Schedule.watchers ~witness_size ~my_flag
              else
                Feedback.run ~my_id:id ~rng:ctx.rng ~channels ~reps:sequential_reps
-                 ~witnesses:sched.Schedule.witnesses ~my_flag
+                 ~witnesses:sched.Schedule.watchers ~witness_size ~my_flag
            in
            (* Referee simulation: items on successful channels are chosen. *)
            let successes =
@@ -157,9 +163,11 @@ let run ?(ame_params = Params.default) ?channels_used ?(feedback_mode = Sequenti
                    let item = sched.Schedule.items.(c) in
                    (match item with
                     | Game.State.Node v ->
-                      Hashtbl.replace surrogate_map v
-                        (Array.to_list sched.Schedule.watchers.(c));
-                      (match (Schedule.role_of sched id, !my_recv) with
+                      (* The watcher array is immutable after the build, so
+                         the surrogate record shares it — no per-success
+                         copy. *)
+                      Hashtbl.replace surrogate_map v sched.Schedule.watchers.(c);
+                      (match (my_role, !my_recv) with
                        | Schedule.Watch { channel }, Some (Radio.Frame.Vector { owner; entries })
                          when channel = c && owner = v ->
                          Hashtbl.replace known v entries

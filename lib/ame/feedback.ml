@@ -1,19 +1,44 @@
 let rounds_consumed ~witnesses ~reps = Array.length witnesses * reps
 
-(* [rank_of] without the per-call ref/closure pair: last matching index, or
-   -1 when absent (witness sets are duplicate-free, so last = first). *)
-let rec rank_scan arr id i acc =
-  if i >= Array.length arr then acc
-  (* radio-lint: allow partial-array-unsafe — i < length checked above *)
-  else rank_scan arr id (i + 1) (if Array.unsafe_get arr i = id then i else acc)
+(* [rank_of] without the per-call ref/closure pair: last matching index
+   within the first [len] slots, or -1 when absent (witness sets are
+   duplicate-free, so last = first). *)
+let rec rank_scan arr id i len acc =
+  if i >= len then acc
+  (* radio-lint: allow partial-array-unsafe — i < len <= length checked by the caller *)
+  else rank_scan arr id (i + 1) len (if Array.unsafe_get arr i = id then i else acc)
 
-let run_list ~my_id ~rng ~channels ~reps ~witnesses ~my_flag =
+(* Per-phase listener step, shared by both accumulator shapes: draw all
+   [reps] random hops first, then declare them as one engine listen-series.
+   The rng draws are a pure per-node stream and the hop sequence never
+   depends on what is heard, so drawing up front consumes the identical
+   stream prefix and the engine rounds are byte-identical to [reps]
+   separate [listen] calls — but the fiber suspends once per phase instead
+   of once per round, which is what makes population-scale feedback cheap
+   (every non-witness node listens in every feedback round). *)
+let listen_phase ~rng ~channels ~reps ~chans_buf ~out_buf =
+  for j = 0 to reps - 1 do
+    (* radio-lint: allow partial-array-unsafe — j < reps = length chans_buf *)
+    Array.unsafe_set chans_buf j (Prng.Rng.int rng channels)
+  done;
+  Radio.Engine.listen_series ~chans:chans_buf ~into:out_buf
+
+let validate_witness_size ~channels ~witness_size =
+  if witness_size <> channels then
+    invalid_arg "Feedback.run: witness prefix must have size C"
+
+let validate_group ~witness_size g =
+  if Array.length g < witness_size then
+    invalid_arg "Feedback.run: witness sets must have size >= C"
+
+let run_list ~my_id ~rng ~channels ~reps ~witnesses ~witness_size ~my_flag =
   let k = Array.length witnesses in
   let d = ref [] in
+  let chans_buf = Array.make reps 0 in
+  let out_buf : Radio.Frame.t option array = Array.make reps None in
   for r = 0 to k - 1 do
-    if Array.length witnesses.(r) <> channels then
-      invalid_arg "Feedback.run: witness sets must have size C";
-    match rank_scan witnesses.(r) my_id 0 (-1) with
+    validate_group ~witness_size witnesses.(r);
+    match rank_scan witnesses.(r) my_id 0 witness_size (-1) with
     | rank when rank >= 0 ->
       (* Witness for channel r: occupy my rank channel every round. *)
       if my_flag && not (List.mem r !d) then d := r :: !d;
@@ -23,9 +48,9 @@ let run_list ~my_id ~rng ~channels ~reps ~witnesses ~my_flag =
       done
     | _ ->
       (* Listener: a random channel per round; collect <true, r>. *)
-      for _ = 1 to reps do
-        let chan = Prng.Rng.int rng channels in
-        match Radio.Engine.listen ~chan with
+      listen_phase ~rng ~channels ~reps ~chans_buf ~out_buf;
+      for j = 0 to reps - 1 do
+        match out_buf.(j) with
         | Some (Radio.Frame.Feedback_true r') when r' = r ->
           if not (List.mem r !d) then d := r :: !d
         | Some _ | None -> ()
@@ -33,18 +58,20 @@ let run_list ~my_id ~rng ~channels ~reps ~witnesses ~my_flag =
   done;
   List.sort Int.compare !d
 
-let run ~my_id ~rng ~channels ~reps ~witnesses ~my_flag =
+let run ~my_id ~rng ~channels ~reps ~witnesses ~witness_size ~my_flag =
+  validate_witness_size ~channels ~witness_size;
   let k = Array.length witnesses in
-  if k > 62 then run_list ~my_id ~rng ~channels ~reps ~witnesses ~my_flag
+  if k > 62 then run_list ~my_id ~rng ~channels ~reps ~witnesses ~witness_size ~my_flag
   else begin
     (* Hot path: accumulate the successful-channel set as a bitmask instead
        of a deduplicated list, then decode ascending (the same value the
        sorted unique list produced). *)
     let d = ref 0 in
+    let chans_buf = Array.make reps 0 in
+    let out_buf : Radio.Frame.t option array = Array.make reps None in
     for r = 0 to k - 1 do
-      if Array.length witnesses.(r) <> channels then
-        invalid_arg "Feedback.run: witness sets must have size C";
-      match rank_scan witnesses.(r) my_id 0 (-1) with
+      validate_group ~witness_size witnesses.(r);
+      match rank_scan witnesses.(r) my_id 0 witness_size (-1) with
       | rank when rank >= 0 ->
         if my_flag then d := !d lor (1 lsl r);
         let frame = if my_flag then Radio.Frame.Feedback_true r else Radio.Frame.Feedback_false in
@@ -52,9 +79,9 @@ let run ~my_id ~rng ~channels ~reps ~witnesses ~my_flag =
           Radio.Engine.transmit ~chan:rank frame
         done
       | _ ->
-        for _ = 1 to reps do
-          let chan = Prng.Rng.int rng channels in
-          match Radio.Engine.listen ~chan with
+        listen_phase ~rng ~channels ~reps ~chans_buf ~out_buf;
+        for j = 0 to reps - 1 do
+          match out_buf.(j) with
           | Some (Radio.Frame.Feedback_true r') when r' = r -> d := !d lor (1 lsl r)
           | Some _ | None -> ()
         done

@@ -18,12 +18,25 @@ val run :
   channels:int ->
   reps:int ->
   witnesses:int array array ->
+  witness_size:int ->
   my_flag:bool ->
   int list
-(** [run ~my_id ~rng ~channels ~reps ~witnesses ~my_flag] consumes exactly
-    [Array.length witnesses * reps] rounds and returns the set D of channel
-    indices believed to have succeeded, sorted.  [my_flag] is consulted only
-    if [my_id] appears in some [witnesses.(r)] (each witness set must have
-    size [channels]; a node may witness at most one channel). *)
+(** [run ~my_id ~rng ~channels ~reps ~witnesses ~witness_size ~my_flag]
+    consumes exactly [Array.length witnesses * reps] rounds and returns the
+    set D of channel indices believed to have succeeded, sorted.  The
+    witness set W[r] is the first [witness_size] entries of
+    [witnesses.(r)] — callers hand the schedule's full watcher arrays and a
+    prefix length instead of copied sub-arrays.  [witness_size] must equal
+    [channels] (each witness set occupies every channel during its phase)
+    and every [witnesses.(r)] must have at least that many entries.
+    [my_flag] is consulted only if [my_id] appears in some witness prefix
+    (a node may witness at most one channel).
+
+    Listener rounds are declared through {!Radio.Engine.listen_series} —
+    one suspension per feedback phase rather than one per round — which is
+    observationally identical (the random hop sequence is drawn from the
+    same per-node stream in the same order) but makes population-scale
+    feedback cost array reads per listener-round instead of a fiber
+    resume. *)
 
 val rounds_consumed : witnesses:int array array -> reps:int -> int

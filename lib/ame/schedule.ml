@@ -1,22 +1,52 @@
 exception Divergence of string
 
+(* Claimed-node scratch: generation-stamped int arrays, so reusing them
+   across builds costs one counter bump instead of an O(n) clear.  [build]
+   runs once per node per move; before this was reusable, the per-build
+   [Bytes.make n] was the dominant allocation of the f-AME epoch loop at
+   population scale (n * moves large blocks straight into the major heap).
+
+   [stamps] marks the nodes claimed by the current build; [role_data]
+   carries, for every claimed node, its packed role (written by the same
+   pass that claims it), so the build doubles as a one-pass inverted
+   node->role index.  [gen] is monotonic across the scratch's whole
+   lifetime — a regrow keeps counting rather than restarting, so an index
+   taken from an earlier build can never be revalidated by accident. *)
+type scratch = {
+  mutable stamps : int array;
+  mutable role_data : int array;
+  mutable gen : int;
+}
+
+let make_scratch () = { stamps = [||]; role_data = [||]; gen = 0 }
+
+(* Packed role: 2 kind bits, then the channel, then (for watchers) the rank
+   within the channel's watcher array.  Channels fit in 32 bits and ranks in
+   the bits above — far beyond any feasible proposal. *)
+let kind_broadcast = 0
+let kind_receive = 1
+let kind_watch = 2
+
+let[@inline] pack ~kind ~chan ~rank = kind lor (chan lsl 2) lor (rank lsl 34)
+let[@inline] packed_kind d = d land 3
+let[@inline] packed_chan d = (d lsr 2) land 0xFFFFFFFF
+let[@inline] packed_rank d = d lsr 34
+
+(* The inverted index is a view into its scratch: valid only while no later
+   build has bumped the generation.  [role_of] checks and falls back to the
+   retained scans, so a stale index degrades to the old cost, never to a
+   wrong answer. *)
+type index = { src : scratch; built_gen : int }
+
 type t = {
   items : Game.State.item array;
   broadcaster : int array;
   owner : int array;
   receiver : int option array;
   watchers : int array array;
-  witnesses : int array array;
+  witness_size : int;
+  index : index;
 }
-
-(* Claimed-node scratch: a generation-stamped int array, so reusing it
-   across builds costs one counter bump instead of an O(n) clear.  [build]
-   runs once per node per move; before this was reusable, the per-build
-   [Bytes.make n] was the dominant allocation of the f-AME epoch loop at
-   population scale (n * moves large blocks straight into the major heap). *)
-type scratch = { mutable stamps : int array; mutable gen : int }
-
-let make_scratch () = { stamps = [||]; gen = 0 }
 
 let build ?scratch ~proposal ~surrogates ~n ~witness_size ~watchers_per_channel () =
   if watchers_per_channel < witness_size then
@@ -26,29 +56,37 @@ let build ?scratch ~proposal ~surrogates ~n ~witness_size ~watchers_per_channel 
   if k = 0 then raise (Divergence "empty proposal");
   let scratch = match scratch with Some s -> s | None -> make_scratch () in
   if Array.length scratch.stamps < n then begin
+    (* Regrow without resetting [gen]: stale indexes into the old arrays
+       must stay stale forever. *)
     scratch.stamps <- Array.make n 0;
-    scratch.gen <- 0
+    scratch.role_data <- Array.make n 0
   end;
   scratch.gen <- scratch.gen + 1;
   let used = scratch.stamps in
+  let roles = scratch.role_data in
   let gen = scratch.gen in
   (* radio-lint: allow partial-array-unsafe — v < n guarded on the same line *)
   let is_used v = v < n && Array.unsafe_get used v = gen in
-  let claim v =
+  let claim v role =
     if is_used v then raise (Divergence (Printf.sprintf "node %d claimed twice" v));
-    (* radio-lint: allow partial-array-unsafe — 0 <= v < n guarded on the same line *)
-    if v >= 0 && v < n then Array.unsafe_set used v gen
+    if v >= 0 && v < n then begin
+      (* radio-lint: allow partial-array-unsafe — 0 <= v < n guarded above *)
+      Array.unsafe_set used v gen;
+      (* radio-lint: allow partial-array-unsafe — same bounds as the stamp *)
+      Array.unsafe_set roles v role
+    end
   in
   (* Pass 1: receivers (edge destinations) and node-item broadcasters are
-     forced; claim them before choosing edge broadcasters. *)
+     forced; claim them (and record their roles) before choosing edge
+     broadcasters. *)
   let receiver = Array.make k None in
   Array.iteri
     (fun c item ->
       match item with
-      | Game.State.Node v -> claim v
+      | Game.State.Node v -> claim v (pack ~kind:kind_broadcast ~chan:c ~rank:0)
       | Game.State.Edge (_, w) ->
         receiver.(c) <- Some w;
-        claim w)
+        claim w (pack ~kind:kind_receive ~chan:c ~rank:0))
     items;
   (* Pass 2: broadcasters.  An edge's source broadcasts itself when free;
      otherwise its first free surrogate stands in. *)
@@ -63,24 +101,30 @@ let build ?scratch ~proposal ~surrogates ~n ~witness_size ~watchers_per_channel 
       | Game.State.Edge (v, _) ->
         owner.(c) <- v;
         if not (is_used v) then begin
-          claim v;
+          claim v (pack ~kind:kind_broadcast ~chan:c ~rank:0);
           broadcaster.(c) <- v
         end
         else begin
-          let rec first_free = function
-            | [] -> raise (Divergence (Printf.sprintf "no free surrogate for node %d" v))
-            | s :: rest -> if is_used s then first_free rest else s
-          in
-          let s = first_free (surrogates v) in
-          claim s;
-          broadcaster.(c) <- s
+          let subs = surrogates v in
+          let len = Array.length subs in
+          let s = ref (-1) in
+          let j = ref 0 in
+          while !s < 0 && !j < len do
+            if not (is_used subs.(!j)) then s := subs.(!j);
+            incr j
+          done;
+          if !s < 0 then
+            raise (Divergence (Printf.sprintf "no free surrogate for node %d" v));
+          claim !s (pack ~kind:kind_broadcast ~chan:c ~rank:0);
+          broadcaster.(c) <- !s
         end)
     items;
-  (* Pass 3: watchers, in increasing id order from the uninvolved nodes. *)
+  (* Pass 3: watchers, in increasing id order from the uninvolved nodes.
+     The first [witness_size] of each channel's watchers double as its
+     witness set — shared prefix, no copy. *)
   let watchers = Array.make k [||] in
-  let witnesses = Array.make k [||] in
   let next_free = ref 0 in
-  let take_free () =
+  let take_free role =
     (* radio-lint: allow partial-array-unsafe — !next_free < n guarded on the same line *)
     while !next_free < n && Array.unsafe_get used !next_free = gen do
       incr next_free
@@ -89,17 +133,19 @@ let build ?scratch ~proposal ~surrogates ~n ~witness_size ~watchers_per_channel 
     let v = !next_free in
     (* radio-lint: allow partial-array-unsafe — v < n established by the raise above *)
     Array.unsafe_set used v gen;
+    (* radio-lint: allow partial-array-unsafe — same bounds as the stamp *)
+    Array.unsafe_set roles v role;
     v
   in
   for c = 0 to k - 1 do
     let ws = Array.make watchers_per_channel 0 in
     for i = 0 to watchers_per_channel - 1 do
-      ws.(i) <- take_free ()
+      ws.(i) <- take_free (pack ~kind:kind_watch ~chan:c ~rank:i)
     done;
-    watchers.(c) <- ws;
-    witnesses.(c) <- Array.sub ws 0 witness_size
+    watchers.(c) <- ws
   done;
-  { items; broadcaster; owner; receiver; watchers; witnesses }
+  { items; broadcaster; owner; receiver; watchers; witness_size;
+    index = { src = scratch; built_gen = gen } }
 
 type role =
   | Broadcast of { channel : int; owner : int }
@@ -107,14 +153,19 @@ type role =
   | Watch of { channel : int }
   | Off
 
-(* [Array.exists (fun w -> w = id)] without the per-call closure. *)
-let mem_int arr (id : int) =
-  let len = Array.length arr in
-  (* radio-lint: allow partial-array-unsafe — i < len guarded on the same line *)
+(* [Array.exists (fun w -> w = id)] without the per-call closure, limited to
+   the first [len] entries. *)
+let mem_prefix arr (id : int) len =
+  (* radio-lint: allow partial-array-unsafe — i < len <= length by the callers *)
   let rec go i = i < len && (Array.unsafe_get arr i = id || go (i + 1)) in
   go 0
 
-let role_of t id =
+let mem_int arr id = mem_prefix arr id (Array.length arr)
+
+(* The retained O(k * watchers) scans: the semantic reference for the
+   indexed lookups (QCheck-pinned), and the fallback once a later build on
+   the same scratch has invalidated this schedule's index. *)
+let role_of_scan t id =
   let k = Array.length t.items in
   let rec scan c =
     if c >= k then Off
@@ -122,7 +173,7 @@ let role_of t id =
     else if t.receiver.(c) = Some id then
       (match t.items.(c) with
        | Game.State.Edge e -> Receive { channel = c; edge = e }
-       (* [make] only assigns a receiver on Edge channels, so this arm is
+       (* [build] only assigns a receiver on Edge channels, so this arm is
           unreachable by construction; crashing loudly beats
           mis-scheduling silently. *)
        (* radio-lint: allow partial-assert-false *)
@@ -132,29 +183,71 @@ let role_of t id =
   in
   scan 0
 
-let witness_channel t id =
+let witness_channel_scan t id =
   let k = Array.length t.items in
   let rec scan c =
     if c >= k then None
-    else if mem_int t.witnesses.(c) id then Some c
+    else if mem_prefix t.watchers.(c) id t.witness_size then Some c
     else scan (c + 1)
   in
   scan 0
 
-let oracle_entry t =
-  (* Both lists in one backward pass, no intermediate array. *)
-  let k = Array.length t.items in
-  let rec go c =
-    if c >= k then ([], [])
+let[@inline] index_live t =
+  let ix = t.index in
+  ix.src.gen = ix.built_gen
+
+let[@inline] stamped t id =
+  let ix = t.index in
+  let stamps = ix.src.stamps in
+  id >= 0 && id < Array.length stamps
+  (* radio-lint: allow partial-array-unsafe — bounds guarded on the previous line *)
+  && Array.unsafe_get stamps id = ix.built_gen
+
+let role_of t id =
+  if index_live t then
+    if not (stamped t id) then Off
     else begin
-      let chans, kinds = go (c + 1) in
-      let kind =
-        match t.items.(c) with
-        | Game.State.Node v -> Oracle.Node_item v
-        | Game.State.Edge e -> Oracle.Edge_item e
-      in
-      (c :: chans, (c, kind) :: kinds)
+      let d = t.index.src.role_data.(id) in
+      let chan = packed_chan d in
+      match packed_kind d with
+      | 0 -> Broadcast { channel = chan; owner = t.owner.(chan) }
+      | 1 ->
+        (match t.items.(chan) with
+         | Game.State.Edge e -> Receive { channel = chan; edge = e }
+         (* receive roles are only recorded on Edge channels *)
+         (* radio-lint: allow partial-assert-false *)
+         | Game.State.Node _ -> assert false)
+      | _ -> Watch { channel = chan }
     end
-  in
-  let channels_in_use, kinds = go 0 in
-  { Oracle.channels_in_use; kinds }
+  else role_of_scan t id
+
+let witness_channel t id =
+  if index_live t then
+    if not (stamped t id) then None
+    else begin
+      let d = t.index.src.role_data.(id) in
+      if packed_kind d = kind_watch && packed_rank d < t.witness_size then
+        Some (packed_chan d)
+      else None
+    end
+  else witness_channel_scan t id
+
+let witness_sets t =
+  Array.map (fun ws -> Array.sub ws 0 t.witness_size) t.watchers
+
+let oracle_entry t =
+  (* Both lists in one backward loop — iterative, so proposals of any size
+     (k >= 1e5) cannot overflow the stack. *)
+  let k = Array.length t.items in
+  let chans = ref [] in
+  let kinds = ref [] in
+  for c = k - 1 downto 0 do
+    let kind =
+      match t.items.(c) with
+      | Game.State.Node v -> Oracle.Node_item v
+      | Game.State.Edge e -> Oracle.Edge_item e
+    in
+    chans := c :: !chans;
+    kinds := (c, kind) :: !kinds
+  done;
+  { Oracle.channels_in_use = !chans; kinds = !kinds }

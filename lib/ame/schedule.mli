@@ -6,11 +6,21 @@
     source, or one of its recorded surrogates when the source is otherwise
     busy, for edge items); the destination of each edge item as the
     channel's receiver; and [watchers_per_channel] uninvolved listeners per
-    used channel, the first C of whom form the witness set W[c] for the
-    following communication-feedback call.
+    used channel, the first [witness_size] of whom form the witness set
+    W[c] for the following communication-feedback call (a shared prefix of
+    the watcher array — no per-channel copy is made).
 
     The construction is a pure function of its arguments, so all nodes
-    compute the identical schedule from identical game state (Invariant 1). *)
+    compute the identical schedule from identical game state (Invariant 1).
+
+    Alongside the per-channel arrays, {!build} records a flat node->role
+    table in its scratch in the same claiming passes (O(n + k*w) total), so
+    {!role_of} and {!witness_channel} are O(1) lookups instead of
+    O(k*watchers) scans per node per move.  The table is generation-stamped:
+    it stays valid until a later build reuses the same scratch, after which
+    the lookups silently fall back to the retained scans
+    ({!role_of_scan} / {!witness_channel_scan}), which also serve as the
+    QCheck reference oracle. *)
 
 exception Divergence of string
 (** Raised when no legal assignment exists (e.g. a starred source has no
@@ -18,29 +28,35 @@ exception Divergence of string
     happen after a low-probability feedback failure has desynchronized the
     nodes' game states; runners treat it as a whp-failure event. *)
 
+type scratch
+(** Reusable claimed-node workspace for {!build}: generation-stamped int
+    arrays (claim stamps + the packed role table), grown on demand, so
+    consecutive builds cost O(proposal) instead of an O(n) allocation +
+    clear each.  A scratch must not be shared by builds that can overlap —
+    use one per concurrent runner (fibers of one engine run interleave on a
+    single domain and never overlap, so one scratch per protocol run is
+    safe). *)
+
+val make_scratch : unit -> scratch
+
+type index
+(** A schedule's view into its scratch's node->role table; consulted by
+    {!role_of} / {!witness_channel} while still generation-current. *)
+
 type t = {
   items : Game.State.item array;  (** index = channel *)
   broadcaster : int array;  (** per used channel *)
   owner : int array;  (** whose vector each channel carries *)
   receiver : int option array;  (** edge destination, per used channel *)
   watchers : int array array;  (** per used channel, sorted ids *)
-  witnesses : int array array;  (** per used channel: first C watchers = W[c] *)
+  witness_size : int;  (** W[c] = first [witness_size] watchers of channel c *)
+  index : index;
 }
-
-type scratch
-(** Reusable claimed-node workspace for {!build}: a generation-stamped int
-    array, grown on demand, so consecutive builds cost O(proposal) instead
-    of an O(n) allocation + clear each.  A scratch must not be shared by
-    builds that can overlap — use one per concurrent runner (fibers of one
-    engine run interleave on a single domain and never overlap, so one
-    scratch per protocol run is safe). *)
-
-val make_scratch : unit -> scratch
 
 val build :
   ?scratch:scratch ->
   proposal:Game.State.item list ->
-  surrogates:(int -> int list) ->
+  surrogates:(int -> int array) ->
   n:int ->
   witness_size:int ->
   watchers_per_channel:int ->
@@ -62,8 +78,26 @@ type role =
       (** not scheduled this round (idles during the message round) *)
 
 val role_of : t -> int -> role
+(** O(1) via the inverted index while it is generation-current (always the
+    case between a build and the next build on the same scratch); falls
+    back to {!role_of_scan} afterwards.  Both paths return identical
+    results. *)
 
 val witness_channel : t -> int -> int option
-(** The channel this node is a feedback witness for, if any. *)
+(** The channel this node is a feedback witness for, if any.  Same O(1) /
+    fallback structure as {!role_of}. *)
+
+val role_of_scan : t -> int -> role
+(** The retained linear-scan implementation: the reference oracle for
+    {!role_of} and its fallback once the index is stale. *)
+
+val witness_channel_scan : t -> int -> int option
+(** Scan-based reference for {!witness_channel}. *)
+
+val witness_sets : t -> int array array
+(** Materialized copies of the witness prefixes (fresh arrays), for tests
+    and diagnostics; protocol code should index the shared
+    [watchers]/[witness_size] prefix instead. *)
 
 val oracle_entry : t -> Oracle.entry
+(** Iterative (stack-safe at any proposal size). *)

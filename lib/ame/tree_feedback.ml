@@ -11,22 +11,28 @@ let rounds_consumed ~groups ~reps = ((2 * levels_of groups) + 2) * reps
 let pair_index ~level lower =
   ((lower lsr (level + 1)) lsl level) lor (lower land ((1 lsl level) - 1))
 
-let run ~my_id ~rng ~channels ~budget ~reps ~witnesses ~my_flag =
+let run ~my_id ~rng ~channels ~budget ~reps ~witnesses ~witness_size ~my_flag =
   let groups = Array.length witnesses in
   if not (is_power_of_two groups) then
     invalid_arg "Tree_feedback.run: group count must be a power of two";
   if groups / 2 * budget > channels then
     invalid_arg "Tree_feedback.run: not enough channels for pair blocks";
+  if witness_size <> budget + 1 then
+    invalid_arg "Tree_feedback.run: witness groups must have t+1 members";
   Array.iter
     (fun g ->
-      if Array.length g <> budget + 1 then
+      if Array.length g < witness_size then
         invalid_arg "Tree_feedback.run: witness groups must have t+1 members")
     witnesses;
-  (* My group and member index, if I am a witness. *)
+  (* My group and member index, if I am a witness: the group is the first
+     [witness_size] entries of each watcher array (shared prefix, no
+     copy). *)
   let my_group = ref None in
   Array.iteri
     (fun c group ->
-      Array.iteri (fun m id -> if id = my_id then my_group := Some (c, m)) group)
+      for m = 0 to witness_size - 1 do
+        if group.(m) = my_id then my_group := Some (c, m)
+      done)
     witnesses;
   (* Accumulated knowledge: proposal channel -> success flag. *)
   let known : (int, bool) Hashtbl.t = Hashtbl.create 8 in
@@ -44,26 +50,30 @@ let run ~my_id ~rng ~channels ~budget ~reps ~witnesses ~my_flag =
   in
   let my_set () = Radio.Frame.Feedback_set (Det.bindings known) in
   let group_size = budget + 1 in
-  (* Merge levels: two directions each (even sub-phase: lower half sends). *)
-  for level = 0 to levels_of groups - 1 do
-    for direction = 0 to 1 do
-      for r = 0 to reps - 1 do
-        match !my_group with
-        | Some (c, m) ->
-          let partner = c lxor (1 lsl level) in
-          let lower = min c partner in
-          let block = pair_index ~level lower * budget in
-          let my_side_sends = if c land (1 lsl level) = 0 then direction = 0 else direction = 1 in
-          if my_side_sends then begin
-            let idx = (m + r) mod group_size in
-            if idx < budget then Radio.Engine.transmit ~chan:(block + idx) (my_set ())
-            else Radio.Engine.idle ()
-          end
-          else absorb (Radio.Engine.listen ~chan:(block + Prng.Rng.int rng budget))
-        | None -> Radio.Engine.idle ()
-      done
-    done
-  done;
+  (* Merge levels: two directions each (even sub-phase: lower half sends).
+     Non-witnesses idle through the whole merge — one parked suspension
+     instead of a round-by-round idle loop. *)
+  (match !my_group with
+   | None -> Radio.Engine.idle_for (levels_of groups * 2 * reps)
+   | Some (c, m) ->
+     for level = 0 to levels_of groups - 1 do
+       for direction = 0 to 1 do
+         for r = 0 to reps - 1 do
+           let partner = c lxor (1 lsl level) in
+           let lower = min c partner in
+           let block = pair_index ~level lower * budget in
+           let my_side_sends =
+             if c land (1 lsl level) = 0 then direction = 0 else direction = 1
+           in
+           if my_side_sends then begin
+             let idx = (m + r) mod group_size in
+             if idx < budget then Radio.Engine.transmit ~chan:(block + idx) (my_set ())
+             else Radio.Engine.idle ()
+           end
+           else absorb (Radio.Engine.listen ~chan:(block + Prng.Rng.int rng budget))
+         done
+       done
+     done);
   (* Dissemination: the witness pool keeps min(C, pool) channels occupied,
      with broadcast duty rotating through the pool so that every witness
      also gets listening rounds — a witness whose merge block was
@@ -82,10 +92,24 @@ let run ~my_id ~rng ~channels ~budget ~reps ~witnesses ~my_flag =
   (* Dissemination runs longer than a merge direction: it is the only phase
      every node depends on, and rotation dilutes each witness's airtime. *)
   let d_reps = 2 * reps in
-  for r = 0 to d_reps - 1 do
-    match pool_rank with
-    | Some rank when (rank + r) mod pool_size < d_channels ->
-      Radio.Engine.transmit ~chan:((rank + r) mod pool_size) (my_set ())
-    | Some _ | None -> absorb (Radio.Engine.listen ~chan:(Prng.Rng.int rng d_channels))
-  done;
+  (match pool_rank with
+   | Some rank ->
+     for r = 0 to d_reps - 1 do
+       if (rank + r) mod pool_size < d_channels then
+         Radio.Engine.transmit ~chan:((rank + r) mod pool_size) (my_set ())
+       else absorb (Radio.Engine.listen ~chan:(Prng.Rng.int rng d_channels))
+     done
+   | None ->
+     (* Non-witnesses only listen: draw the whole hop sequence from the same
+        per-node stream, declare it as one listen-series, and absorb the
+        results in round order — byte-identical to the per-round loop. *)
+     let chans_buf = Array.make d_reps 0 in
+     for r = 0 to d_reps - 1 do
+       chans_buf.(r) <- Prng.Rng.int rng d_channels
+     done;
+     let out_buf : Radio.Frame.t option array = Array.make d_reps None in
+     Radio.Engine.listen_series ~chans:chans_buf ~into:out_buf;
+     for r = 0 to d_reps - 1 do
+       absorb out_buf.(r)
+     done);
   List.filter_map (fun (c, flag) -> if flag then Some c else None) (Det.bindings known)

@@ -30,10 +30,17 @@ val run :
   budget:int ->
   reps:int ->
   witnesses:int array array ->
+  witness_size:int ->
   my_flag:bool ->
   int list
 (** Same contract as {!Feedback.run}: call from every node in the same
-    round; returns the believed-successful proposal channels, sorted. *)
+    round; returns the believed-successful proposal channels, sorted.
+    The witness group of channel c is the first [witness_size] entries of
+    [witnesses.(c)] (the schedule's watcher-prefix, shared rather than
+    copied); [witness_size] must equal [budget + 1].  Non-witnesses park
+    through the merge phase with one [idle_for] and declare their
+    dissemination hops as one {!Radio.Engine.listen_series} — same rounds,
+    same rng stream, one suspension instead of thousands. *)
 
 (** {1 Exposed internals (tested directly)} *)
 

@@ -116,19 +116,29 @@ let open_ ~key:raw sealed = open_keyed (key raw) sealed
 let wire_size { nonce; body; tag } =
   String.length nonce + String.length body + String.length tag
 
-let encode { nonce; body; tag } =
-  let len_field n =
-    let b = Bytes.create 4 in
-    for i = 0 to 3 do
-      Bytes.set b i (Char.chr ((n lsr (8 * (3 - i))) land 0xFF))
-    done;
-    Bytes.unsafe_to_string b
-  in
-  len_field (String.length nonce) ^ nonce
-  ^ len_field (String.length body) ^ body
-  ^ len_field (String.length tag) ^ tag
+let encoded_size { nonce; body; tag } =
+  12 + String.length nonce + String.length body + String.length tag
 
-let decode s =
+(* Single-buffer encoding: the multiplexed service encodes one frame per
+   busy channel per emulated round, so the concat-chain formulation's
+   intermediate strings showed up in its prepare step. *)
+let encode_into { nonce; body; tag } out ~pos =
+  let field p s =
+    let len = String.length s in
+    Bytes.set_int32_be out p (Int32.of_int len);
+    Bytes.blit_string s 0 out (p + 4) len;
+    p + 4 + len
+  in
+  let p = field pos nonce in
+  let p = field p body in
+  ignore (field p tag : int)
+
+let encode sealed =
+  let out = Bytes.create (encoded_size sealed) in
+  encode_into sealed out ~pos:0;
+  Bytes.unsafe_to_string out
+
+let decode_sub s ~pos =
   let read_len pos =
     if pos + 4 > String.length s then None
     else
@@ -145,7 +155,7 @@ let decode s =
       if len < 0 || pos + len > String.length s then None
       else Some (String.sub s pos len, pos + len)
   in
-  match read_field 0 with
+  match read_field pos with
   | None -> None
   | Some (nonce, pos) ->
     (match read_field pos with
@@ -154,3 +164,5 @@ let decode s =
        (match read_field pos with
         | Some (tag, pos) when pos = String.length s -> Some { nonce; body; tag }
         | _ -> None))
+
+let decode s = decode_sub s ~pos:0

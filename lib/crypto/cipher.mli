@@ -61,5 +61,17 @@ val wire_size : sealed -> int
 val encode : sealed -> string
 (** Flat wire encoding (length-prefixed fields). *)
 
+val encoded_size : sealed -> int
+(** [String.length (encode sealed)], without encoding. *)
+
+val encode_into : sealed -> Bytes.t -> pos:int -> unit
+(** Write {!encode}'s bytes at [pos] in a caller-owned buffer, so framing
+    layers can prepend their own headers without intermediate strings.
+    The buffer needs [encoded_size sealed] bytes from [pos]. *)
+
 val decode : string -> sealed option
 (** Inverse of {!encode}; [None] on malformed input. *)
+
+val decode_sub : string -> pos:int -> sealed option
+(** {!decode} of the suffix starting at [pos], without copying it out
+    first.  The encoding must end exactly at the end of [s]. *)

@@ -11,6 +11,7 @@ type _ Effect.t += ETransmit : int * Frame.t -> obs Effect.t
 type _ Effect.t += EListen : int -> obs Effect.t
 type _ Effect.t += EIdle : obs Effect.t
 type _ Effect.t += EIdleFor : int -> obs Effect.t
+type _ Effect.t += EListenSeq : int array * Frame.t option array -> obs Effect.t
 type _ Effect.t += Round : int Effect.t
 
 let transmit ~chan frame =
@@ -29,6 +30,14 @@ let idle () =
 let idle_for k =
   if k > 0 then
     match Effect.perform (EIdleFor k) with
+    | Received _ | Nothing -> ()
+
+let listen_series ~chans ~into =
+  let len = Array.length chans in
+  if Array.length into <> len then
+    invalid_arg "Engine.listen_series: chans and into must have equal length";
+  if len > 0 then
+    match Effect.perform (EListenSeq (chans, into)) with
     | Received _ | Nothing -> ()
 
 let current_round () = Effect.perform Round
@@ -57,7 +66,16 @@ type fiber =
   | WaitI of (obs, unit) Effect.Deep.continuation
   | WaitS of int * (obs, unit) Effect.Deep.continuation
       (** sleeping; the int counts remaining idle rounds, current included *)
+  | WaitLS of series
+      (** listening through a pre-declared channel sequence, one per round *)
   | Finished
+
+and series = {
+  ls_chans : int array;
+  ls_out : Frame.t option array;
+  mutable ls_pos : int;
+  ls_k : (obs, unit) Effect.Deep.continuation;
+}
 
 (* The original execution core, kept as the semantic oracle for the sparse
    engine (the Dense-vs-sparse pattern from the graph kernel): every round
@@ -88,6 +106,8 @@ let run_reference cfg ~adversary nodes =
   let pending_i = ref 0 in
   let pending_chan = ref 0 in
   let pending_frame = ref dummy_frame in
+  let pending_chans = ref [||] in
+  let pending_out : Frame.t option array ref = ref [||] in
   let some_transmit =
     Some
       (fun (k : (obs, unit) Effect.Deep.continuation) ->
@@ -107,6 +127,12 @@ let run_reference cfg ~adversary nodes =
     Some
       (fun (k : (obs, unit) Effect.Deep.continuation) ->
         Array.set fibers !pending_i (WaitS (!pending_chan, k)))
+  in
+  let some_listen_seq =
+    Some
+      (fun (k : (obs, unit) Effect.Deep.continuation) ->
+        Array.set fibers !pending_i
+          (WaitLS { ls_chans = !pending_chans; ls_out = !pending_out; ls_pos = 0; ls_k = k }))
   in
   let some_round =
     Some
@@ -137,6 +163,11 @@ let run_reference cfg ~adversary nodes =
               pending_i := i;
               pending_chan := k;
               some_sleep
+            | EListenSeq (chans, out) ->
+              pending_i := i;
+              pending_chans := chans;
+              pending_out := out;
+              some_listen_seq
             | Round -> some_round
             | _ -> None) }
     in
@@ -221,6 +252,13 @@ let run_reference cfg ~adversary nodes =
         if record_wanted then honest_tx := (i, chan, frame) :: !honest_tx
       | WaitL (chan, _) ->
         incr waiting;
+        validate_chan chan;
+        touch chan;
+        Array.set listeners_on chan (Array.get listeners_on chan + 1);
+        if record_wanted then listeners := (i, chan) :: !listeners
+      | WaitLS s ->
+        incr waiting;
+        let chan = s.ls_chans.(s.ls_pos) in
         validate_chan chan;
         touch chan;
         Array.set listeners_on chan (Array.get listeners_on chan + 1);
@@ -332,12 +370,25 @@ let run_reference cfg ~adversary nodes =
             Effect.Deep.continue k Nothing
           end
           else fibers.(i) <- WaitS (r - 1, k)
+        | WaitLS s ->
+          let chan = s.ls_chans.(s.ls_pos) in
+          (s.ls_out.(s.ls_pos) <-
+             (match Array.get outcomes chan with
+              | Transcript.Delivered { frame; _ } -> Some frame
+              | Transcript.Empty | Transcript.Collision _ -> None));
+          if s.ls_pos + 1 >= Array.length s.ls_chans then begin
+            fibers.(i) <- Finished;
+            Effect.Deep.continue s.ls_k Nothing
+          end
+          else s.ls_pos <- s.ls_pos + 1
       done
     end
   done;
   let completed =
     Array.for_all
-      (function Finished -> true | WaitT _ | WaitL _ | WaitI _ | WaitS _ -> false)
+      (function
+        | Finished -> true
+        | WaitT _ | WaitL _ | WaitI _ | WaitS _ | WaitLS _ -> false)
       fibers
   in
   if not completed then
@@ -346,7 +397,9 @@ let run_reference cfg ~adversary nodes =
         match fiber with
         | Finished -> ()
         | WaitT (_, _, k) | WaitL (_, k) | WaitI k | WaitS (_, k) -> (
-          try Effect.Deep.discontinue k Aborted with Aborted -> ()))
+          try Effect.Deep.discontinue k Aborted with Aborted -> ())
+        | WaitLS s -> (
+          try Effect.Deep.discontinue s.ls_k Aborted with Aborted -> ()))
       fibers;
   { stats; transcript = List.rev !transcript; completed; rounds_used = !round_counter;
     channel_usage = usage }
@@ -381,7 +434,10 @@ type shard_scratch = {
 let default_shard_min = 16384
 
 (* State codes for the per-node SoA byte array: 'f' finished, 't' transmit
-   declared, 'l' listen declared, 'w' idle (one round) or parked sleeper. *)
+   declared, 'l' listen declared, 'w' idle (one round) or parked sleeper,
+   's' mid listen-series (a run of per-round listen channels declared by a
+   single [listen_series] suspension; the fiber is resumed once, after the
+   last round of the run). *)
 
 (* The sparse core.  Three ideas over [run_reference]:
 
@@ -416,6 +472,36 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
   let chan_of = Array.make n 0 in
   let frame_of = Array.make n dummy_frame in
   let konts = Array.make n NoK in
+  (* Listen-series state: the declared channel run, the caller's result
+     buffer, and the cursor.  [chan_of] always holds the series' channel for
+     the *current* round, so the harvest treats 's' exactly like 'l'.  For
+     parked series ('p', below) [ser_pos] holds the series' first round
+     instead of a cursor. *)
+  let ser_chans : int array array = Array.make n [||] in
+  let ser_out : Frame.t option array array = Array.make n [||] in
+  let ser_pos = Array.make n 0 in
+  let validate_chan chan =
+    if chan < 0 || chan >= channels then
+      invalid_arg (Printf.sprintf "Engine: action on invalid channel %d" chan)
+  in
+  let record_wanted = cfg.Config.record_transcript || adversary.Adversary.observes in
+  (* Parked listen-series rings.  When nothing records per-listener
+     identities ([record_wanted] false), a [listen_series] fiber does not
+     ride the active list at all: its per-round listener counts are
+     pre-accumulated into [series_counts] (a round-ring of per-channel
+     ints) at declare time, delivered frames land in [series_hist] (same
+     geometry, shared [Some] per channel per round), and the fiber parks in
+     the wake queue until the round after its last listen, where the whole
+     result buffer is filled from the history ring in one pass.  Rows are
+     addressed by [round mod series_depth]; a row is live for exactly one
+     round in each ring (counts: consumed and zeroed at its round's
+     resolution; history: written at its round's resolution, pre-zeroed
+     when the ring wraps back around), so depth >= the longest outstanding
+     series suffices. *)
+  let series_depth = ref 0 in
+  let series_counts = ref [||] in
+  let series_hist : Frame.t option array ref = ref [||] in
+  let series_outstanding = ref 0 in
   (* Double-buffered sorted active lists. *)
   let cur = ref (Array.make (max n 1) 0) in
   let n_cur = ref 0 in
@@ -442,6 +528,8 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
   let running_i = ref 0 in
   let pending_chan = ref 0 in
   let pending_frame = ref dummy_frame in
+  let pending_chans = ref [||] in
+  let pending_out : Frame.t option array ref = ref [||] in
   let some_transmit =
     Some
       (fun (k : (obs, unit) Effect.Deep.continuation) ->
@@ -487,6 +575,80 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
           Hashtbl.replace wake wake_round (i :: prev)
         end)
   in
+  let some_listen_seq =
+    Some
+      (fun (k : (obs, unit) Effect.Deep.continuation) ->
+        let i = !running_i in
+        let chans = !pending_chans in
+        Bytes.set st i 's';
+        ser_chans.(i) <- chans;
+        ser_out.(i) <- !pending_out;
+        ser_pos.(i) <- 0;
+        chan_of.(i) <- chans.(0);
+        konts.(i) <- K k;
+        push i)
+  in
+  (* Regrow the series rings to hold [needed] rounds, re-homing live rows
+     under the new modulus.  At regrow time (a declare, so [round_counter]
+     is the new series' first round rc) live count rows sit in
+     [rc, rc + old_depth - 1] and live history rows in
+     [rc - old_depth, rc - 1]; dead rows are all zero / [None], so copying
+     each window wholesale is harmless, and each window's size <= old_depth
+     <= new depth keeps the re-homed rows distinct. *)
+  let series_grow needed =
+    let old_depth = !series_depth in
+    let depth = max needed (2 * old_depth) in
+    let counts = Array.make (depth * channels) 0 in
+    let hist : Frame.t option array = Array.make (depth * channels) None in
+    if old_depth > 0 then begin
+      let rc = !round_counter in
+      for rr = rc to rc + old_depth - 1 do
+        Array.blit !series_counts (rr mod old_depth * channels) counts
+          (rr mod depth * channels) channels
+      done;
+      for rr = max 0 (rc - old_depth) to rc - 1 do
+        Array.blit !series_hist (rr mod old_depth * channels) hist
+          (rr mod depth * channels) channels
+      done
+    end;
+    series_counts := counts;
+    series_hist := hist;
+    series_depth := depth
+  in
+  let some_listen_park =
+    Some
+      (fun (k : (obs, unit) Effect.Deep.continuation) ->
+        let i = !running_i in
+        let chans = !pending_chans in
+        let len = Array.length chans in
+        (* Validate before touching the rings: a bad channel must not leave
+           partial counts behind. *)
+        for p = 0 to len - 1 do
+          validate_chan chans.(p)
+        done;
+        if len > !series_depth then series_grow len;
+        let r0 = !round_counter in
+        let depth = !series_depth in
+        let counts = !series_counts in
+        let row = ref (r0 mod depth) in
+        for p = 0 to len - 1 do
+          let idx = (!row * channels) + chans.(p) in
+          Array.set counts idx (Array.get counts idx + 1);
+          incr row;
+          if !row = depth then row := 0
+        done;
+        Bytes.set st i 'p';
+        ser_chans.(i) <- chans;
+        ser_out.(i) <- !pending_out;
+        ser_pos.(i) <- r0;
+        konts.(i) <- K k;
+        incr series_outstanding;
+        let wake_round = r0 + len - 1 in
+        let prev =
+          match Hashtbl.find_opt wake wake_round with Some ids -> ids | None -> []
+        in
+        Hashtbl.replace wake wake_round (i :: prev))
+  in
   let some_round =
     Some
       (fun (k : (int, unit) Effect.Deep.continuation) ->
@@ -521,6 +683,13 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
           | EIdleFor d ->
             pending_chan := d;
             some_sleep
+          | EListenSeq (chans, out) ->
+            pending_chans := chans;
+            pending_out := out;
+            (* The parked path skips the active list entirely but cannot
+               name per-round listeners, so recording runs (transcript or
+               observing adversary) keep the per-round variant. *)
+            if record_wanted then some_listen_seq else some_listen_park
           | Round -> some_round
           | _ -> None) }
   in
@@ -539,10 +708,6 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
     else None
   in
   let transcript = ref [] in
-  let validate_chan chan =
-    if chan < 0 || chan >= channels then
-      invalid_arg (Printf.sprintf "Engine: action on invalid channel %d" chan)
-  in
   let tx_count = Array.make channels 0 in
   let first_sender = Array.make channels (-1) in
   let first_frame = Array.make channels dummy_frame in
@@ -564,9 +729,12 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
   let shared_outcomes = Array.make channels Transcript.Empty in
   (* Per-channel observation cache: one shared [Received] per delivered
      channel per round, handed to every listener at resume time (the frame
-     itself was already shared; now the wrapper is too). *)
+     itself was already shared; now the wrapper is too).  [round_some] is
+     the same sharing for series result buffers: one [Some frame] per
+     delivered channel per round, stored into every series listener's
+     buffer. *)
   let round_obs : obs array = Array.make channels Nothing in
-  let record_wanted = cfg.Config.record_transcript || adversary.Adversary.observes in
+  let round_some : Frame.t option array = Array.make channels None in
   (* Empty-round fast-forward is sound only when nothing can observe the
      skipped rounds: no recording, and the adversary is the stateless null
      strategy (physical equality — [Adversary.t] is a record of closures). *)
@@ -601,7 +769,7 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
         if payload > stats.Transcript.Stats.max_payload then
           stats.Transcript.Stats.max_payload <- payload;
         if record_wanted then honest_tx := (i, chan, frame) :: !honest_tx
-      | 'l' ->
+      | 'l' | 's' ->
         let chan = chan_of.(i) in
         validate_chan chan;
         touch chan;
@@ -637,7 +805,7 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
         end;
         let payload = Frame.payload_size frame_of.(i) in
         if payload > sc.s_max_payload then sc.s_max_payload <- payload
-      | 'l' ->
+      | 'l' | 's' ->
         let chan = chan_of.(i) in
         validate_chan chan;
         if sc.s_tx.(chan) = 0 && sc.s_listen.(chan) = 0 then begin
@@ -700,22 +868,72 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
     Array.iter merge_shard !scratch
   in
   let[@inline] resume_one i =
-    match konts.(i) with
-    | NoK -> ()
-    | K k ->
-      konts.(i) <- NoK;
-      let obs =
-        match Bytes.get st i with
-        | 'l' -> Array.get round_obs chan_of.(i)
-        | 't' ->
-          (* Drop the frame reference so the engine does not retain every
-             node's last payload for the whole run. *)
-          frame_of.(i) <- dummy_frame;
-          Nothing
-        | _ -> Nothing
-      in
-      running_i := i;
-      Effect.Deep.continue k obs
+    match Bytes.get st i with
+    | 's' ->
+      (* Series step: store this round's observation without resuming the
+         fiber; the continuation only runs after the last round of the
+         run.  The stored [Some] is the per-channel shared one. *)
+      let p = ser_pos.(i) in
+      let chans = ser_chans.(i) in
+      ser_out.(i).(p) <- Array.get round_some chan_of.(i);
+      let p' = p + 1 in
+      if p' >= Array.length chans then begin
+        ser_chans.(i) <- [||];
+        ser_out.(i) <- [||];
+        match konts.(i) with
+        | NoK -> ()
+        | K k ->
+          konts.(i) <- NoK;
+          running_i := i;
+          Effect.Deep.continue k Nothing
+      end
+      else begin
+        ser_pos.(i) <- p';
+        chan_of.(i) <- chans.(p');
+        push i
+      end
+    | 'p' ->
+      (* Parked series completes: fill the whole result buffer from the
+         history ring (row [r0] is [len - 1 < depth] rounds old, so every
+         row of the run is still live), then resume the fiber once. *)
+      let chans = ser_chans.(i) in
+      let out = ser_out.(i) in
+      let len = Array.length chans in
+      let r0 = ser_pos.(i) in
+      let depth = !series_depth in
+      let hist = !series_hist in
+      let row = ref (r0 mod depth) in
+      for p = 0 to len - 1 do
+        Array.set out p (Array.get hist ((!row * channels) + chans.(p)));
+        incr row;
+        if !row = depth then row := 0
+      done;
+      ser_chans.(i) <- [||];
+      ser_out.(i) <- [||];
+      decr series_outstanding;
+      (match konts.(i) with
+       | NoK -> ()
+       | K k ->
+         konts.(i) <- NoK;
+         running_i := i;
+         Effect.Deep.continue k Nothing)
+    | code -> (
+      match konts.(i) with
+      | NoK -> ()
+      | K k ->
+        konts.(i) <- NoK;
+        let obs =
+          match code with
+          | 'l' -> Array.get round_obs chan_of.(i)
+          | 't' ->
+            (* Drop the frame reference so the engine does not retain every
+               node's last payload for the whole run. *)
+            frame_of.(i) <- dummy_frame;
+            Nothing
+          | _ -> Nothing
+        in
+        running_i := i;
+        Effect.Deep.continue k obs)
   in
   (* Resume the active list merged with this round's wakers, in ascending
      node-id order (the order is observable: node bodies may share state). *)
@@ -763,7 +981,7 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
   in
   while !live > 0 && !round_counter < max_rounds do
     let round = !round_counter in
-    if fast_forward_ok && !n_cur = 0 then begin
+    if fast_forward_ok && !n_cur = 0 && !series_outstanding = 0 then begin
       (* Every live fiber is parked: skip straight to the earliest wake
          round (each skipped round is an all-idle round of the reference
          engine — it counts toward the stats but resolves nothing). *)
@@ -794,6 +1012,31 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
       in
       strike_count := 0;
       List.iter apply_strike strikes;
+      (* Parked-series bookkeeping for this round: pre-zero the history row
+         (its previous tenant is [depth] rounds dead) and touch channels
+         whose only activity is parked listeners.  [series_base] indexes
+         this round's ring rows; -1 when no series is outstanding. *)
+      let series_base =
+        if !series_outstanding = 0 then -1
+        else begin
+          let base = round mod !series_depth * channels in
+          let counts = !series_counts in
+          let hist = !series_hist in
+          for chan = 0 to channels - 1 do
+            Array.set hist (base + chan) None;
+            if
+              Array.get counts (base + chan) > 0
+              && Array.get tx_count chan = 0
+              && Array.get listeners_on chan = 0
+              && not (Array.get struck chan)
+            then begin
+              Array.set touched !n_touched chan;
+              incr n_touched
+            end
+          done;
+          base
+        end
+      in
       (* 3. Resolve the touched channels; accumulators reset inline, but
          the touched list and [round_obs] survive until after the resume
          pass below. *)
@@ -821,16 +1064,24 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
           else Transcript.Collision { transmitters = honest; jammed = false }
         in
         Array.set outcomes chan outcome;
+        (* Hearers = scalar listeners on the active list + parked series
+           listeners tuned here this round (identical to the count the
+           active-list scan produced before series parked). *)
+        let hearers =
+          Array.get listeners_on chan
+          + (if series_base >= 0 then Array.get !series_counts (series_base + chan) else 0)
+        in
         (match usage with
-         | Some u ->
-           Transcript.Channel_usage.note u chan outcome
-             ~hearers:(Array.get listeners_on chan)
+         | Some u -> Transcript.Channel_usage.note u chan outcome ~hearers
          | None -> ());
         (match outcome with
          | Transcript.Empty -> ()
          | Transcript.Delivered { origin; frame } ->
+           let shared_some = Some frame in
            Array.set round_obs chan (Received frame);
-           let hearers = Array.get listeners_on chan in
+           Array.set round_some chan shared_some;
+           if series_base >= 0 then
+             Array.set !series_hist (series_base + chan) shared_some;
            stats.Transcript.Stats.deliveries <- stats.Transcript.Stats.deliveries + hearers;
            (match origin with
             | Transcript.Adversarial ->
@@ -840,6 +1091,7 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
          | Transcript.Collision { jammed; _ } ->
            stats.Transcript.Stats.collisions <- stats.Transcript.Stats.collisions + 1;
            if jammed then jammed_this_round := true);
+        if series_base >= 0 then Array.set !series_counts (series_base + chan) 0;
         Array.set tx_count chan 0;
         Array.set first_sender chan (-1);
         Array.set first_frame chan dummy_frame;
@@ -869,7 +1121,9 @@ let run_core ~pool ~shard_min cfg ~adversary ~get_body =
          per-round observation cache. *)
       resume_round round;
       for j = 0 to !n_touched - 1 do
-        Array.set round_obs (Array.get touched j) Nothing
+        let chan = Array.get touched j in
+        Array.set round_obs chan Nothing;
+        Array.set round_some chan None
       done;
       n_touched := 0;
       swap_active ()

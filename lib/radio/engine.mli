@@ -49,6 +49,20 @@ val idle_for : int -> unit
     the fiber in its wake queue, so the idle span costs zero per-round
     work. *)
 
+val listen_series : chans:int array -> into:Frame.t option array -> unit
+(** Listen for [Array.length chans] consecutive rounds, on [chans.(j)] in
+    the j-th round, storing each round's observation into [into.(j)].
+    Observationally identical to
+    [Array.iteri (fun j c -> into.(j) <- listen ~chan:c) chans] — same
+    stats, transcripts, and delivery semantics — but a single suspension:
+    the engine steps the fiber's listening cursor itself, so a long run of
+    listens costs array reads per round instead of a continuation resume.
+    Use it when the channel sequence does not depend on what is heard
+    (e.g. the f-AME feedback listeners' random hops).  [into] must have the
+    same length as [chans] (else [Invalid_argument]); its previous contents
+    are overwritten round by round.  Zero-length [chans] consumes no
+    rounds. *)
+
 val current_round : unit -> int
 (** The engine's round counter.  Does not consume a round. *)
 

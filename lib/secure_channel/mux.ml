@@ -163,6 +163,10 @@ let ops_of_mode mode ~key group_prf =
 
 let u32 n = String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xFF))
 
+(* Same big-endian bytes as [u32] (int32 truncation keeps the low 32 bits
+   bytewise), written in place. *)
+let set_u32 b pos n = Bytes.set_int32_be b pos (Int32.of_int n)
+
 let read_u32 s pos =
   (Char.code s.[pos] lsl 24)
   lor (Char.code s.[pos + 1] lsl 16)
@@ -174,7 +178,15 @@ let read_u32 s pos =
    spliced onto another logical channel), sequence number, sealing epoch,
    enqueue round (for latency accounting). *)
 let encode_payload ~chan ~seq ~epoch ~enq body =
-  u32 chan ^ u32 seq ^ u32 epoch ^ u32 enq ^ body
+  let bl = String.length body in
+  let out = Bytes.create (16 + bl) in
+  set_u32 out 0 chan;
+  set_u32 out 4 seq;
+  set_u32 out 8 epoch;
+  set_u32 out 12 enq;
+  Bytes.blit_string body 0 out 16 bl;
+  (* radio-lint: allow partial-array-unsafe — freshly built, uniquely owned *)
+  Bytes.unsafe_to_string out
 
 let decode_payload payload =
   if String.length payload < 16 then None
@@ -187,13 +199,19 @@ let decode_payload payload =
         String.sub payload 16 (String.length payload - 16) )
 
 (* Data frame on the air: clear epoch header (selects the trial key without
-   one MAC attempt per live epoch) + the sealed blob. *)
-let encode_data ~epoch sealed = u32 epoch ^ Cipher.encode sealed
+   one MAC attempt per live epoch) + the sealed blob, framed in one
+   buffer and parsed in place. *)
+let encode_data ~epoch sealed =
+  let out = Bytes.create (4 + Cipher.encoded_size sealed) in
+  set_u32 out 0 epoch;
+  Cipher.encode_into sealed out ~pos:4;
+  (* radio-lint: allow partial-array-unsafe — freshly built, uniquely owned *)
+  Bytes.unsafe_to_string out
 
 let decode_data blob =
   if String.length blob < 4 then None
   else
-    match Cipher.decode (String.sub blob 4 (String.length blob - 4)) with
+    match Cipher.decode_sub blob ~pos:4 with
     | Some sealed -> Some (read_u32 blob 0, sealed)
     | None -> None
 
@@ -206,6 +224,48 @@ let encode_ack ~chan ~seq ~epoch tag = "A" ^ u32 chan ^ u32 seq ^ u32 epoch ^ ta
 let decode_ack blob =
   if String.length blob <> 45 || blob.[0] <> 'A' then None
   else Some (read_u32 blob 1, read_u32 blob 5, read_u32 blob 9, String.sub blob 13 32)
+
+(* Piggybacked-mode sealed payloads.  The first word carries the cumulative
+   ack for the opposite direction (stored as ack + 1 so -1, "nothing
+   delivered yet", encodes cleanly) with the kind flag folded into its top
+   bit: flag clear is a data frame, flag set a bare ack carrier sent when
+   the sender's queue is empty but the partner still has unretired frames.
+
+   The layout is sized to the keystream: {!Cipher} keystream blocks are 32
+   bytes, and the slotted data payload (16-byte header + default 16-byte
+   body) fills exactly one.  A naive kind byte + ack word + full slotted
+   header would spill the piggybacked payload into a second block and
+   nearly double the stream-cipher work of every frame, so the sealing
+   epoch — redundant inside the payload, because the clear epoch header
+   selects the (epoch-derived) key and any tampering with it fails
+   authentication outright — is dropped and the kind flag costs no bytes.
+   At the default body size a piggybacked data payload is the same 32
+   bytes as its slotted counterpart.  Distinct encodings keep the slotted
+   wire format byte-for-byte untouched. *)
+let pig_ack_flag = 1 lsl 31
+
+let encode_pig_data ~ack ~chan ~seq ~enq body =
+  let bl = String.length body in
+  let out = Bytes.create (16 + bl) in
+  set_u32 out 0 (ack + 1);
+  set_u32 out 4 chan;
+  set_u32 out 8 seq;
+  set_u32 out 12 enq;
+  Bytes.blit_string body 0 out 16 bl;
+  (* radio-lint: allow partial-array-unsafe — freshly built, uniquely owned *)
+  Bytes.unsafe_to_string out
+
+let encode_pig_ack ~ack ~chan ~epoch ~round =
+  u32 ((ack + 1) lor pig_ack_flag) ^ u32 chan ^ u32 epoch ^ u32 round
+
+(* Piggybacked frames are re-sealed whenever the folded ack advances, so
+   their nonces are keyed by (channel, emulated round) — unique per sealed
+   blob — with tag bits keeping them disjoint from the slotted
+   [nonce_of] space and from each other. *)
+let pig_nonce ~tag ~chan ~round =
+  Int64.logor
+    (Int64.shift_left 1L tag)
+    (Int64.logor (Int64.shift_left (Int64.of_int chan) 32) (Int64.of_int round))
 
 (* Deterministic message stream: the body of message (channel, seq), padded
    or truncated to the configured size.  Receivers regenerate it, so a
@@ -223,12 +283,15 @@ let gen_body ~payload ~chan ~seq =
 
 type transport = Acked | Repeat of { reps : int; group : int }
 
+type ack_mode = Slotted | Piggybacked
+
 type spec = {
   key : string;
   logical : int;
   phys : int;
   budget : int;
   transport : transport;
+  ack_mode : ack_mode;
   crypto : crypto_mode;
   rounds : int;
   rate : int;
@@ -241,9 +304,9 @@ type spec = {
   seed : int64;
 }
 
-let make ~key ~logical ~phys ~budget ?(transport = Acked) ?(crypto = Batched)
-    ~rounds ?(rate = 1) ?(queue_cap = 8) ?(window = 32) ?(epoch_len = 16)
-    ?(grace = 4) ?(payload = 16) ?(outsiders = 0) ?(seed = 1L) () =
+let make ~key ~logical ~phys ~budget ?(transport = Acked) ?(ack_mode = Slotted)
+    ?(crypto = Batched) ~rounds ?(rate = 1) ?(queue_cap = 8) ?(window = 32)
+    ?(epoch_len = 16) ?(grace = 4) ?(payload = 16) ?(outsiders = 0) ?(seed = 1L) () =
   if logical < 1 then invalid_arg "Mux.make: need at least one logical channel";
   if phys < 2 then invalid_arg "Mux.make: need at least 2 physical channels";
   if budget < 0 || budget >= phys then invalid_arg "Mux.make: need 0 <= budget < phys";
@@ -259,28 +322,45 @@ let make ~key ~logical ~phys ~budget ?(transport = Acked) ?(crypto = Batched)
   | Repeat { reps; group } ->
     if reps < 1 then invalid_arg "Mux.make: Repeat needs reps >= 1";
     if group < 2 then invalid_arg "Mux.make: Repeat needs group >= 2");
+  (match ack_mode with
+  | Slotted -> ()
+  | Piggybacked ->
+    if transport <> Acked then
+      invalid_arg "Mux.make: Piggybacked acks need the Acked transport";
+    if logical < 2 || logical land 1 <> 0 then
+      invalid_arg "Mux.make: Piggybacked acks need an even number of logical channels");
   ignore (Window.create ~width:window);
-  { key; logical; phys; budget; transport; crypto; rounds; rate; queue_cap; window;
-    epoch_len; grace; payload; outsiders; seed }
+  { key; logical; phys; budget; transport; ack_mode; crypto; rounds; rate; queue_cap;
+    window; epoch_len; grace; payload; outsiders; seed }
 
 let service_nodes spec =
-  match spec.transport with
-  | Acked -> 2 * spec.logical
-  | Repeat { group; _ } -> spec.logical * group
+  match (spec.transport, spec.ack_mode) with
+  | Acked, Slotted -> 2 * spec.logical
+  (* Duplex pairing: node c is both the sender of channel c and the
+     receiver of channel [c lxor 1], so one node per channel suffices. *)
+  | Acked, Piggybacked -> spec.logical
+  | Repeat { group; _ }, _ -> spec.logical * group
 
 let node_count spec = service_nodes spec + spec.outsiders
 
 (* Data (and ack) slots per phase: with S = ceil(logical / phys), the at
-   most [phys] channels sharing a slot occupy distinct physical channels. *)
+   most [phys] channels sharing a slot occupy distinct physical channels.
+   Piggybacked mode needs S >= 2 so a node's out-channel c and in-channel
+   [c lxor 1] (consecutive ids) always land in different slots. *)
 let slots spec =
-  match spec.transport with
-  | Acked -> (spec.logical + spec.phys - 1) / spec.phys
-  | Repeat { reps; _ } -> reps
+  match (spec.transport, spec.ack_mode) with
+  | Acked, Slotted -> (spec.logical + spec.phys - 1) / spec.phys
+  | Acked, Piggybacked -> max ((spec.logical + spec.phys - 1) / spec.phys) 2
+  | Repeat { reps; _ }, _ -> reps
 
 let real_rounds_per_emulated spec =
-  match spec.transport with
-  | Acked -> (2 * slots spec) + 2
-  | Repeat { reps; _ } -> reps + 1
+  match (spec.transport, spec.ack_mode) with
+  | Acked, Slotted -> (2 * slots spec) + 2
+  (* No ack phase and no mid sync: S data slots + the end sync round.  The
+     cumulative ack rides inside the next data frame of the opposite
+     direction. *)
+  | Acked, Piggybacked -> slots spec + 1
+  | Repeat { reps; _ }, _ -> reps + 1
 
 (* ------------------------------------------------------------------ *)
 (* Run statistics.                                                     *)
@@ -379,6 +459,9 @@ type state = {
   ack_pend_seq : int array;  (* latest delivered seq, re-acked each round; -1 none *)
   ack_built_seq : int array;  (* cache identity of [ack_blob]; -1 = empty *)
   ack_built_epoch : int array;
+  (* Piggybacked-ack extras, per channel. *)
+  inflight : int array;  (* queue entries transmitted at least once *)
+  cum_delivered : int array;  (* receiver: contiguous delivered prefix; -1 none *)
   (* Repeat transport extras. *)
   r_sender : int array;  (* member index transmitting this round's head *)
   r_windows : Window.t array;  (* per node *)
@@ -419,6 +502,8 @@ let create_state spec =
     ack_pend_seq = Array.make m (-1);
     ack_built_seq = Array.make m (-1);
     ack_built_epoch = Array.make m (-1);
+    inflight = Array.make m 0;
+    cum_delivered = Array.make m (-1);
     r_sender = Array.make m 0;
     r_windows = Array.init (max 1 multi) (fun _ -> Window.create ~width:spec.window);
     r_chans = Array.make (max 1 (m * reps)) 0 }
@@ -480,35 +565,38 @@ let nonce_of ~chan ~seq =
 (* ------------------------------------------------------------------ *)
 
 (* One successfully opened data payload for channel [c], received in
-   emulated round [arrival].  Returns the seq to (re-)ack, if any. *)
+   emulated round [arrival], already parsed into its fields.  Returns the
+   seq to (re-)ack, if any. *)
+let deliver_parsed t c ~arrival ~chan:c' ~seq ~enq ~body =
+  if c' <> c then begin
+    (* Valid MAC under the shared epoch key, but bound to another logical
+       channel: a splice attempt, not a delivery. *)
+    t.st.bad_frames <- t.st.bad_frames + 1;
+    None
+  end
+  else begin
+    match Window.check t.windows.(c) seq with
+    | Window.Duplicate ->
+      t.st.duplicates <- t.st.duplicates + 1;
+      Some seq (* the previous ack was lost: re-ack *)
+    | Window.Out_of_window ->
+      t.st.out_of_window <- t.st.out_of_window + 1;
+      None
+    | Window.Fresh ->
+      Window.note t.windows.(c) seq;
+      t.st.delivered <- t.st.delivered + 1;
+      note_latency t (arrival - enq);
+      if not (String.equal body (gen_body ~payload:t.sp.payload ~chan:c ~seq)) then
+        t.st.forged_accepts <- t.st.forged_accepts + 1;
+      Some seq
+  end
+
 let deliver_payload t c ~arrival payload =
   match decode_payload payload with
   | None ->
     t.st.bad_frames <- t.st.bad_frames + 1;
     None
-  | Some (c', seq, _epoch, enq, body) ->
-    if c' <> c then begin
-      (* Valid MAC under the shared epoch key, but bound to another logical
-         channel: a splice attempt, not a delivery. *)
-      t.st.bad_frames <- t.st.bad_frames + 1;
-      None
-    end
-    else begin
-      match Window.check t.windows.(c) seq with
-      | Window.Duplicate ->
-        t.st.duplicates <- t.st.duplicates + 1;
-        Some seq (* the previous ack was lost: re-ack *)
-      | Window.Out_of_window ->
-        t.st.out_of_window <- t.st.out_of_window + 1;
-        None
-      | Window.Fresh ->
-        Window.note t.windows.(c) seq;
-        t.st.delivered <- t.st.delivered + 1;
-        note_latency t (arrival - enq);
-        if not (String.equal body (gen_body ~payload:t.sp.payload ~chan:c ~seq)) then
-          t.st.forged_accepts <- t.st.forged_accepts + 1;
-        Some seq
-    end
+  | Some (c', seq, _epoch, enq, body) -> deliver_parsed t c ~arrival ~chan:c' ~seq ~enq ~body
 
 let process_heard_data t ~arrival =
   let items = ref [] in
@@ -649,18 +737,159 @@ let build_ack_frames t ~e =
         batch)
 
 (* PRF-keyed slot rotation: every channel of slot s lands on a distinct
-   physical channel, and the whole slot's placement is unpredictable. *)
+   physical channel, and the whole slot's placement is unpredictable.  The
+   offset depends only on the slot, so the PRF is drawn once per (slot,
+   phase) and fanned out — with thousands of channels over a few dozen
+   slots, drawing it per channel made this loop as expensive as sealing
+   the frames it was placing. *)
 let assign_channels t ~e =
+  let off_d =
+    Array.init t.s (fun s ->
+        Prf.Keyed.below t.hop_prf ~label:"mux-hop-data" ~counter:((e * t.s) + s) t.sp.phys)
+  in
+  let off_a =
+    Array.init t.s (fun s ->
+        Prf.Keyed.below t.hop_prf ~label:"mux-hop-ack" ~counter:((e * t.s) + s) t.sp.phys)
+  in
   for c = 0 to t.sp.logical - 1 do
     let s = c mod t.s and p = c / t.s in
-    let off_d =
-      Prf.Keyed.below t.hop_prf ~label:"mux-hop-data" ~counter:((e * t.s) + s) t.sp.phys
-    in
-    let off_a =
-      Prf.Keyed.below t.hop_prf ~label:"mux-hop-ack" ~counter:((e * t.s) + s) t.sp.phys
-    in
-    t.data_chan.(c) <- (p + off_d) mod t.sp.phys;
-    t.ack_chan.(c) <- (p + off_a) mod t.sp.phys
+    t.data_chan.(c) <- (p + off_d.(s)) mod t.sp.phys;
+    t.ack_chan.(c) <- (p + off_a.(s)) mod t.sp.phys
+  done
+
+(* ------------------------------------------------------------------ *)
+(* prepare (Acked transport, piggybacked acks).                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Frames a sender may have in the air before its first retire: the ack
+   for round e's frame rides the opposite direction's round e+1 frame and
+   is processed at the start of round e+2, so a window of two keeps the
+   pipeline full at rate 1. *)
+let pig_send_window = 2
+
+(* Receiver side: extend the contiguous delivered prefix of channel [c]
+   using the replay window's own delivery record. *)
+let advance_cum t c =
+  while Window.check t.windows.(c) (t.cum_delivered.(c) + 1) = Window.Duplicate do
+    t.cum_delivered.(c) <- t.cum_delivered.(c) + 1
+  done
+
+(* Sender side of channel [c]: a cumulative ack retires every queued head
+   up to [ack].  Only frames sent at least once can be acknowledged, so
+   [inflight] shrinks in step with the queue. *)
+let apply_cum_ack t c ~ack =
+  while t.q_len.(c) > 0 && t.inflight.(c) > 0 && head_seq t c <= ack do
+    q_pop t c;
+    t.inflight.(c) <- t.inflight.(c) - 1;
+    t.st.acked <- t.st.acked + 1
+  done
+
+(* One opened piggybacked payload heard on channel [c]: fold the carried
+   ack into the opposite direction's queue, then (for data frames) run the
+   regular delivery judgement and advance the cumulative prefix. *)
+let deliver_pig_payload t c ~arrival payload =
+  let len = String.length payload in
+  if len < 16 then t.st.bad_frames <- t.st.bad_frames + 1
+  else begin
+    let word = read_u32 payload 0 in
+    let ack = (word land lnot pig_ack_flag) - 1 in
+    if word land pig_ack_flag <> 0 then begin
+      (* Bare ack carrier: fixed size, bound to its own channel. *)
+      if len <> 16 || read_u32 payload 4 <> c then
+        t.st.bad_frames <- t.st.bad_frames + 1
+      else apply_cum_ack t (c lxor 1) ~ack
+    end
+    else begin
+      apply_cum_ack t (c lxor 1) ~ack;
+      let chan = read_u32 payload 4 and seq = read_u32 payload 8 and enq = read_u32 payload 12 in
+      let body = String.sub payload 16 (len - 16) in
+      (match deliver_parsed t c ~arrival ~chan ~seq ~enq ~body with
+      | Some _ | None -> ());
+      advance_cum t c
+    end
+  end
+
+let process_heard_pig t ~arrival =
+  let items = ref [] in
+  for c = 0 to t.sp.logical - 1 do
+    (match t.heard_data.(c) with
+    | None -> ()
+    | Some (Radio.Frame.Sealed blob) -> (
+      match decode_data blob with
+      | None -> t.st.bad_frames <- t.st.bad_frames + 1
+      | Some (frame_epoch, sealed) -> (
+        match verdict_at t ~now:arrival ~frame_epoch with
+        | Stale -> t.st.stale_epoch <- t.st.stale_epoch + 1
+        | Current | Previous -> add_item items frame_epoch (c, sealed)))
+    | Some _ -> t.st.bad_frames <- t.st.bad_frames + 1);
+    t.heard_data.(c) <- None
+  done;
+  drain_items items ~apply:(fun epoch batch ->
+      let opened = t.ops.open_many ~epoch (Array.map snd batch) in
+      Array.iteri
+        (fun i (c, _) ->
+          match opened.(i) with
+          | None -> t.st.bad_frames <- t.st.bad_frames + 1
+          | Some payload -> deliver_pig_payload t c ~arrival payload)
+        batch)
+
+(* Build this round's frame per channel: the next unsent queue entry while
+   the send window has room, the unacknowledged head otherwise, or a bare
+   ack carrier when the queue is empty but the partner still has frames in
+   flight.  Every frame folds in the current cumulative ack, so frames are
+   re-sealed each round under a (channel, round)-keyed nonce. *)
+let build_pig_frames t ~e =
+  let cur = epoch_of ~epoch_len:t.sp.epoch_len ~now:e in
+  let items = ref [] in
+  for c = 0 to t.sp.logical - 1 do
+    t.data_blob.(c) <- "";
+    if t.q_len.(c) > 0 then begin
+      let fresh = t.inflight.(c) < t.q_len.(c) && t.inflight.(c) < pig_send_window in
+      let slot = q_slot t c (if fresh then t.inflight.(c) else 0) in
+      if fresh then t.inflight.(c) <- t.inflight.(c) + 1
+      else t.st.retransmissions <- t.st.retransmissions + 1;
+      add_item items cur (c, Some (t.q_seq.(slot), t.q_enq.(slot)))
+    end
+    else if t.inflight.(c lxor 1) > 0 && t.cum_delivered.(c lxor 1) >= 0 then
+      add_item items cur (c, None)
+  done;
+  drain_items items ~apply:(fun epoch batch ->
+      let nonces =
+        Array.map
+          (fun (c, k) ->
+            match k with
+            | Some _ -> pig_nonce ~tag:61 ~chan:c ~round:e
+            | None -> pig_nonce ~tag:62 ~chan:c ~round:e)
+          batch
+      in
+      let payloads =
+        Array.map
+          (fun (c, k) ->
+            let ack = t.cum_delivered.(c lxor 1) in
+            match k with
+            | Some (seq, enq) ->
+              encode_pig_data ~ack ~chan:c ~seq ~enq
+                (gen_body ~payload:t.sp.payload ~chan:c ~seq)
+            | None -> encode_pig_ack ~ack ~chan:c ~epoch ~round:e)
+          batch
+      in
+      let sealed = t.ops.seal_many ~epoch ~nonces payloads in
+      Array.iteri
+        (fun i (c, _) -> t.data_blob.(c) <- encode_data ~epoch sealed.(i))
+        batch)
+
+(* Same PRF stream and counters as the slotted data phase, so a given
+   (channel, emulated round) lands on the same physical channel in both
+   ack modes whenever the slot counts coincide.  One PRF draw per slot,
+   as in {!assign_channels}. *)
+let assign_pig_channels t ~e =
+  let off =
+    Array.init t.s (fun s ->
+        Prf.Keyed.below t.hop_prf ~label:"mux-hop-data" ~counter:((e * t.s) + s) t.sp.phys)
+  in
+  for c = 0 to t.sp.logical - 1 do
+    let s = c mod t.s and p = c / t.s in
+    t.data_chan.(c) <- (p + off.(s)) mod t.sp.phys
   done
 
 (* ------------------------------------------------------------------ *)
@@ -797,13 +1026,20 @@ let build_repeat_frames t ~e ~reps ~group =
    everything here — it has no ack phase.) *)
 let prepare_data t ~e =
   if e > 0 && e mod t.sp.epoch_len = 0 then t.st.rekeys <- t.st.rekeys + 1;
-  (match t.sp.transport with
-  | Acked ->
+  (match (t.sp.transport, t.sp.ack_mode) with
+  | Acked, Slotted ->
     if e > 0 then process_heard_acks t ~arrival:(e - 1);
     offer_load t ~e;
     build_data_frames t ~e;
     assign_channels t ~e
-  | Repeat { reps; group } ->
+  | Acked, Piggybacked ->
+    if e > 0 then process_heard_pig t ~arrival:(e - 1);
+    (* Round [rounds] is the flush round: acks and retransmissions still
+       flow so the final deliveries get retired, but no new load enters. *)
+    if e < t.sp.rounds then offer_load t ~e;
+    build_pig_frames t ~e;
+    assign_pig_channels t ~e
+  | Repeat { reps; group }, _ ->
     if e > 0 then process_heard_multi t ~arrival:(e - 1) ~group;
     offer_load t ~e;
     build_repeat_frames t ~e ~reps ~group);
@@ -826,9 +1062,10 @@ let ensure_prepared_acks t ~e = if t.prepared_acks < e then prepare_acks t ~e
    frames left to build).  Data heard in the final round was already
    processed by its own [prepare_acks]; Repeat processes everything here. *)
 let finalize t =
-  match t.sp.transport with
-  | Acked -> process_heard_acks t ~arrival:(t.sp.rounds - 1)
-  | Repeat { group; _ } -> process_heard_multi t ~arrival:(t.sp.rounds - 1) ~group
+  match (t.sp.transport, t.sp.ack_mode) with
+  | Acked, Slotted -> process_heard_acks t ~arrival:(t.sp.rounds - 1)
+  | Acked, Piggybacked -> process_heard_pig t ~arrival:t.sp.rounds
+  | Repeat { group; _ }, _ -> process_heard_multi t ~arrival:(t.sp.rounds - 1) ~group
 
 let acked_service_body t (ctx : Radio.Engine.ctx) =
   let c = ctx.Radio.Engine.id / 2 in
@@ -853,6 +1090,34 @@ let acked_service_body t (ctx : Radio.Engine.ctx) =
       Radio.Engine.transmit ~chan:t.ack_chan.(c) (Radio.Frame.Sealed t.ack_blob.(c))
     else Radio.Engine.idle ();
     Radio.Engine.idle_for (t.s - 1 - s);
+    Radio.Engine.idle ()
+  done
+
+(* Piggybacked service body: node [c] sends on channel c and listens on
+   channel [c lxor 1]; consecutive channel ids occupy different slots
+   (S >= 2), so one node covers both duties within the S data slots of the
+   round.  One extra flush round (e = rounds) lets the final acks land. *)
+let pig_service_body t (ctx : Radio.Engine.ctx) =
+  let out_c = ctx.Radio.Engine.id in
+  let in_c = out_c lxor 1 in
+  let so = out_c mod t.s and si = in_c mod t.s in
+  let lo = min so si and hi = max so si in
+  let act slot =
+    if slot = so then begin
+      if String.length t.data_blob.(out_c) > 0 then
+        Radio.Engine.transmit ~chan:t.data_chan.(out_c)
+          (Radio.Frame.Sealed t.data_blob.(out_c))
+      else Radio.Engine.idle ()
+    end
+    else t.heard_data.(in_c) <- Radio.Engine.listen ~chan:t.data_chan.(in_c)
+  in
+  for e = 0 to t.sp.rounds do
+    ensure_prepared_data t ~e;
+    Radio.Engine.idle_for lo;
+    act lo;
+    Radio.Engine.idle_for (hi - lo - 1);
+    act hi;
+    Radio.Engine.idle_for (t.s - 1 - hi);
     Radio.Engine.idle ()
   done
 
@@ -918,18 +1183,21 @@ let outsider_body t (ctx : Radio.Engine.ctx) =
 let run ?pool spec ~adversary =
   let t = create_state spec in
   let n = node_count spec in
+  (* Piggybacked mode runs one extra (flush) emulated round. *)
+  let emulated = spec.rounds + (match spec.ack_mode with Slotted -> 0 | Piggybacked -> 1) in
   let cfg =
     Radio.Config.make ~seed:spec.seed
-      ~max_rounds:((spec.rounds * t.rpe) + 4)
+      ~max_rounds:((emulated * t.rpe) + 4)
       ~track_channels:true ~n ~channels:spec.phys ~t:spec.budget ()
   in
   let service = service_nodes spec in
   let body (ctx : Radio.Engine.ctx) =
     if ctx.Radio.Engine.id >= service then outsider_body t ctx
     else
-      match spec.transport with
-      | Acked -> acked_service_body t ctx
-      | Repeat { reps; group } -> repeat_service_body t ~reps ~group ctx
+      match (spec.transport, spec.ack_mode) with
+      | Acked, Slotted -> acked_service_body t ctx
+      | Acked, Piggybacked -> pig_service_body t ctx
+      | Repeat { reps; group }, _ -> repeat_service_body t ~reps ~group ctx
   in
   let engine = Radio.Engine.run_nodes ?pool cfg ~adversary body in
   finalize t;
@@ -944,14 +1212,17 @@ let transport_name = function
   | Acked -> "acked"
   | Repeat { reps; group } -> Printf.sprintf "repeat(reps=%d,group=%d)" reps group
 
+let ack_mode_name = function Slotted -> "slotted" | Piggybacked -> "piggybacked"
+
 (* Everything here must be byte-identical across crypto modes and pool
    sizes — it is the text the bench's determinism rows hash.  The crypto
    mode itself is deliberately excluded. *)
 let render_stats r =
   let b = Buffer.create 1024 in
   let s = r.stats in
-  Printf.bprintf b "mux/v1 transport=%s logical=%d phys=%d budget=%d rounds=%d\n"
+  Printf.bprintf b "mux/v1 transport=%s ack=%s logical=%d phys=%d budget=%d rounds=%d\n"
     (transport_name r.spec.transport)
+    (ack_mode_name r.spec.ack_mode)
     r.spec.logical r.spec.phys r.spec.budget r.spec.rounds;
   Printf.bprintf b
     "cfg rate=%d queue_cap=%d window=%d epoch_len=%d grace=%d payload=%d outsiders=%d seed=%Ld\n"

@@ -67,12 +67,26 @@ type transport =
           channel ([reps + 1] real rounds per emulated round) — the E9
           broadcast shape. *)
 
+type ack_mode =
+  | Slotted  (** dedicated ack phase: [2S + 2] real rounds per emulated *)
+  | Piggybacked
+      (** Acked transport only, [logical] even.  Channels are paired as
+          duplex streams (channel [c] and [c lxor 1] run between the same
+          two nodes, one node per channel), and the cumulative ack for the
+          opposite direction rides inside each sealed data frame — or a
+          bare sealed ack carrier when the queue is empty — so an emulated
+          round is [max(S, 2) + 1] real rounds instead of [2S + 2].  A
+          send window of 2 keeps the pipeline full at rate 1; one extra
+          flush emulated round retires the final deliveries, so drained
+          runs end with [acked = delivered] just like the slotted mode. *)
+
 type spec = {
   key : string;  (** group key *)
   logical : int;  (** number of logical channels *)
   phys : int;  (** physical radio channels *)
   budget : int;  (** adversary strikes per round *)
   transport : transport;
+  ack_mode : ack_mode;
   crypto : crypto_mode;
   rounds : int;  (** emulated rounds to run *)
   rate : int;  (** messages offered per channel per emulated round *)
@@ -91,6 +105,7 @@ val make :
   phys:int ->
   budget:int ->
   ?transport:transport ->
+  ?ack_mode:ack_mode ->
   ?crypto:crypto_mode ->
   rounds:int ->
   ?rate:int ->
@@ -104,12 +119,13 @@ val make :
   unit ->
   spec
 (** Validates every field; raises [Invalid_argument] otherwise.  Defaults:
-    [Acked], [Batched], rate 1, queue_cap 8, window 32, epoch_len 16,
-    grace 4, payload 16, outsiders 0, seed 1. *)
+    [Acked], [Slotted], [Batched], rate 1, queue_cap 8, window 32,
+    epoch_len 16, grace 4, payload 16, outsiders 0, seed 1. *)
 
 val node_count : spec -> int
-(** Engine nodes the run needs: 2 per channel (Acked) or [group] per
-    channel (Repeat), plus [outsiders]. *)
+(** Engine nodes the run needs: 2 per channel (Acked, Slotted), 1 per
+    channel (Acked, Piggybacked) or [group] per channel (Repeat), plus
+    [outsiders]. *)
 
 val real_rounds_per_emulated : spec -> int
 

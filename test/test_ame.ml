@@ -51,14 +51,14 @@ let sched_proposal ?(starred = []) items =
 let build_basic () =
   let proposal = [ Game.State.Node 0; Game.State.Edge (1, 2); Game.State.Node 3 ] in
   let sched =
-    Schedule.build ~proposal:(sched_proposal proposal) ~surrogates:(fun _ -> []) ~n:40
+    Schedule.build ~proposal:(sched_proposal proposal) ~surrogates:(fun _ -> [||]) ~n:40
       ~witness_size:3 ~watchers_per_channel:9 ()
   in
   check Alcotest.int "node broadcasts itself" 0 sched.Schedule.broadcaster.(0);
   check Alcotest.int "edge source broadcasts" 1 sched.Schedule.broadcaster.(1);
   check (Alcotest.option Alcotest.int) "edge destination receives" (Some 2)
     sched.Schedule.receiver.(1);
-  check Alcotest.int "witnesses are C per channel" 3 (Array.length sched.Schedule.witnesses.(0));
+  check Alcotest.int "witnesses are C per channel" 3 (Array.length (Schedule.witness_sets sched).(0));
   check Alcotest.int "watchers per channel" 9 (Array.length sched.Schedule.watchers.(0));
   (* All assigned nodes distinct. *)
   let assigned =
@@ -73,7 +73,7 @@ let build_uses_surrogate () =
   (* Two edges share starred source 5: the second must use a surrogate. *)
   let proposal = [ Game.State.Edge (5, 1); Game.State.Edge (5, 2) ] in
   let sched =
-    Schedule.build ~proposal ~surrogates:(fun v -> if v = 5 then [ 30; 31; 32 ] else [])
+    Schedule.build ~proposal ~surrogates:(fun v -> if v = 5 then [| 30; 31; 32 |] else [||])
       ~n:40 ~witness_size:2 ~watchers_per_channel:6 ()
   in
   check Alcotest.int "first edge keeps its source" 5 sched.Schedule.broadcaster.(0);
@@ -84,7 +84,7 @@ let build_divergence_on_missing_surrogate () =
   let proposal = [ Game.State.Edge (5, 1); Game.State.Edge (5, 2) ] in
   try
     ignore
-      (Schedule.build ~proposal ~surrogates:(fun _ -> []) ~n:40 ~witness_size:2
+      (Schedule.build ~proposal ~surrogates:(fun _ -> [||]) ~n:40 ~witness_size:2
          ~watchers_per_channel:6 ());
     Alcotest.fail "expected Divergence"
   with Schedule.Divergence _ -> ()
@@ -93,7 +93,7 @@ let build_divergence_when_nodes_short () =
   let proposal = [ Game.State.Node 0; Game.State.Node 1 ] in
   try
     ignore
-      (Schedule.build ~proposal ~surrogates:(fun _ -> []) ~n:5 ~witness_size:2
+      (Schedule.build ~proposal ~surrogates:(fun _ -> [||]) ~n:5 ~witness_size:2
          ~watchers_per_channel:6 ());
     Alcotest.fail "expected Divergence"
   with Schedule.Divergence _ -> ()
@@ -101,7 +101,7 @@ let build_divergence_when_nodes_short () =
 let build_deterministic () =
   let proposal = [ Game.State.Node 4; Game.State.Edge (7, 8) ] in
   let build () =
-    Schedule.build ~proposal ~surrogates:(fun _ -> []) ~n:30 ~witness_size:2
+    Schedule.build ~proposal ~surrogates:(fun _ -> [||]) ~n:30 ~witness_size:2
       ~watchers_per_channel:6 ()
   in
   let a = build () and b = build () in
@@ -112,7 +112,7 @@ let build_deterministic () =
 let roles_cover_everyone_once () =
   let proposal = [ Game.State.Node 0; Game.State.Edge (1, 2); Game.State.Edge (3, 4) ] in
   let sched =
-    Schedule.build ~proposal ~surrogates:(fun _ -> []) ~n:50 ~witness_size:3
+    Schedule.build ~proposal ~surrogates:(fun _ -> [||]) ~n:50 ~witness_size:3
       ~watchers_per_channel:9 ()
   in
   let broadcasters = ref 0 and receivers = ref 0 and watchers = ref 0 and off = ref 0 in
@@ -131,10 +131,10 @@ let roles_cover_everyone_once () =
 let witness_channel_lookup () =
   let proposal = [ Game.State.Node 0; Game.State.Node 1 ] in
   let sched =
-    Schedule.build ~proposal ~surrogates:(fun _ -> []) ~n:30 ~witness_size:2
+    Schedule.build ~proposal ~surrogates:(fun _ -> [||]) ~n:30 ~witness_size:2
       ~watchers_per_channel:6 ()
   in
-  let w0 = sched.Schedule.witnesses.(1).(0) in
+  let w0 = sched.Schedule.watchers.(1).(0) in
   check (Alcotest.option Alcotest.int) "witness channel" (Some 1)
     (Schedule.witness_channel sched w0);
   check (Alcotest.option Alcotest.int) "non-witness" None (Schedule.witness_channel sched 29)
@@ -167,7 +167,7 @@ let schedule_invariants_on_random_proposals =
             Game.State.Edge (src, 60 + i))
       in
       let proposal = nodes @ edges in
-      let surrogates v = if v >= 50 then [ 40; 41; 42; 43; 44; 45 ] else [] in
+      let surrogates v = if v >= 50 then [| 40; 41; 42; 43; 44; 45 |] else [||] in
       match
         Schedule.build ~proposal ~surrogates ~n:120 ~witness_size:(t + 1)
           ~watchers_per_channel:(3 * (t + 1)) ()
@@ -192,9 +192,83 @@ let schedule_invariants_on_random_proposals =
                    sched.Schedule.owner.(c) = v && sched.Schedule.receiver.(c) = Some w))
         in
         let witnesses_full =
-          Array.for_all (fun ws -> Array.length ws = t + 1) sched.Schedule.witnesses
+          Array.for_all (fun ws -> Array.length ws = t + 1) (Schedule.witness_sets sched)
         in
         no_double_booking && owners_right && witnesses_full)
+
+let schedule_index_matches_scan =
+  (* Property: the O(1) inverted index agrees with the retained linear
+     scans for every node, across consecutive builds on one shared scratch
+     (the engine's usage pattern), including after the scratch regrows. *)
+  let gen =
+    QCheck.Gen.(
+      let* t = int_range 1 3 in
+      let* node_items = int_range 0 (t + 1) in
+      let* seed = int_range 0 9999 in
+      let* builds = int_range 1 3 in
+      return (t, node_items, seed, builds))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (t, k, s, b) -> Printf.sprintf "t=%d nodes=%d seed=%d builds=%d" t k s b)
+      gen
+  in
+  QCheck.Test.make ~name:"schedule index matches scan oracle" ~count:200 arb
+    (fun (t, node_items, seed, builds) ->
+      let size = t + 1 in
+      let rng = Prng.Rng.create (Int64.of_int (seed + 1)) in
+      let node_items = min node_items size in
+      let scratch = Schedule.make_scratch () in
+      let build round =
+        let nodes = List.init node_items (fun i -> Game.State.Node ((i + round) mod 10)) in
+        let edges =
+          List.init (size - node_items) (fun i ->
+              let src = 50 + Prng.Rng.int rng 2 in
+              Game.State.Edge (src, 60 + i))
+        in
+        let surrogates v = if v >= 50 then [| 40; 41; 42; 43; 44; 45 |] else [||] in
+        Schedule.build ~scratch ~proposal:(nodes @ edges) ~surrogates ~n:120
+          ~witness_size:(t + 1) ~watchers_per_channel:(3 * (t + 1)) ()
+      in
+      let agrees sched =
+        let ok = ref true in
+        for id = 0 to 119 do
+          if Schedule.role_of sched id <> Schedule.role_of_scan sched id then ok := false;
+          if Schedule.witness_channel sched id <> Schedule.witness_channel_scan sched id
+          then ok := false
+        done;
+        !ok
+      in
+      let rec go round last_ok stale =
+        if round >= builds then last_ok && Option.fold ~none:true ~some:agrees stale
+        else
+          match build round with
+          | exception Schedule.Divergence _ -> go (round + 1) last_ok stale
+          | sched ->
+            (* A later build on the same scratch stamps the previous index
+               stale: its lookups must fall back to the scans, unchanged. *)
+            go (round + 1) (last_ok && agrees sched) (Some sched)
+      in
+      go 0 true None)
+
+let oracle_entry_huge_proposal () =
+  (* The flattened builder and iterative oracle walk must survive a
+     proposal three orders beyond protocol sizes without stack overflow,
+     and the O(1) role index must still agree with the scan at that scale. *)
+  let k = 100_000 in
+  let proposal = List.init k (fun i -> Game.State.Node i) in
+  let sched =
+    Schedule.build ~proposal ~surrogates:(fun _ -> [||]) ~n:(3 * k) ~witness_size:1
+      ~watchers_per_channel:1 ()
+  in
+  let entry = Schedule.oracle_entry sched in
+  check Alcotest.int "all channels in use" k (List.length entry.Oracle.channels_in_use);
+  check Alcotest.int "kinds cover all channels" k (List.length entry.Oracle.kinds);
+  List.iter
+    (fun id ->
+      let same = Schedule.role_of sched id = Schedule.role_of_scan sched id in
+      check Alcotest.bool (Printf.sprintf "index = scan at %d" id) true same)
+    [ 0; 1; k - 1; k; (2 * k) - 1; (3 * k) - 1 ]
 
 (* -- communication-feedback (Lemma 5) -- *)
 
@@ -649,7 +723,9 @@ let () =
           Alcotest.test_case "deterministic" `Quick build_deterministic;
           Alcotest.test_case "role partition" `Quick roles_cover_everyone_once;
           Alcotest.test_case "witness lookup" `Quick witness_channel_lookup;
-          QCheck_alcotest.to_alcotest schedule_invariants_on_random_proposals ] );
+          QCheck_alcotest.to_alcotest schedule_invariants_on_random_proposals;
+          QCheck_alcotest.to_alcotest schedule_index_matches_scan;
+          Alcotest.test_case "oracle entry at k = 1e5" `Quick oracle_entry_huge_proposal ] );
       ( "feedback",
         [ Alcotest.test_case "agreement across seeds" `Quick feedback_agreement_across_seeds;
           Alcotest.test_case "round cost" `Quick feedback_round_cost;

@@ -63,13 +63,20 @@ let node_body ~n ~channels ~steps (ctx : Engine.ctx) =
   let rng = ctx.Engine.rng in
   let id = ctx.Engine.id in
   for _ = 1 to steps do
-    match Prng.Rng.int rng 6 with
+    match Prng.Rng.int rng 7 with
     | 0 | 1 ->
       let chan = Prng.Rng.int rng channels in
       let body = String.make (Prng.Rng.int rng 5) 'x' in
       Engine.transmit ~chan (Frame.Plain { src = id; dst = (id + 1) mod n; body })
     | 2 | 3 -> ignore (Engine.listen ~chan:(Prng.Rng.int rng channels))
     | 4 -> Engine.idle ()
+    | 5 ->
+      (* Series lengths 0..6 cover the empty no-op, the one-round case, and
+         multi-round runs; with record off and a non-observing adversary
+         this is the parked fast path, otherwise the per-round path. *)
+      let len = Prng.Rng.int rng 7 in
+      let chans = Array.init len (fun _ -> Prng.Rng.int rng channels) in
+      Engine.listen_series ~chans ~into:(Array.make len None)
     | _ -> Engine.idle_for (1 + Prng.Rng.int rng 5)
   done
 
@@ -256,6 +263,108 @@ let sharded_large_round_parity () =
             true (same_result serial sharded)))
     [ 1; 2; 4 ]
 
+(* -- listen_series: parked vs per-round vs reference ---------------------
+
+   The random property above only compares engine-side observables; these
+   check the frames the listeners actually hear, through every core and
+   both series paths (parked ring when nothing records, per-round slots
+   when the transcript or an observing adversary needs identities), with
+   mixed series lengths chosen to force the round-ring to regrow while
+   series are outstanding. *)
+
+let series_lengths = [| 3; 1; 40; 0; 7; 33 |]
+
+let series_workload ~n ~channels ~record ~seed run_core =
+  let heard = Array.make n [] in
+  let cfg =
+    Config.make ~n ~channels ~t:0 ~seed ~record_transcript:record ~track_channels:true ()
+  in
+  let body (ctx : Engine.ctx) =
+    let id = ctx.Engine.id in
+    if id < n / 2 then
+      for k = 1 to 96 do
+        (* Two transmitters per round on distinct channels (clean
+           deliveries), plus an occasional third that collides. *)
+        if k mod (n / 2) = id then
+          Engine.transmit ~chan:(k mod channels)
+            (Frame.Plain { src = id; dst = (id + 1) mod n; body = Printf.sprintf "b%d.%d" id k })
+        else if (k + 1) mod (n / 2) = id then
+          Engine.transmit ~chan:((k + 1) mod channels)
+            (Frame.Plain { src = id; dst = (id + 1) mod n; body = Printf.sprintf "c%d.%d" id k })
+        else if (k + 2) mod (n / 2) = id && k land 3 = 0 then
+          Engine.transmit ~chan:(k mod channels)
+            (Frame.Plain { src = id; dst = (id + 1) mod n; body = "clash" })
+        else Engine.idle ()
+      done
+    else begin
+      (* Staggered starts so outstanding series overlap at varying offsets. *)
+      Engine.idle_for (id mod 4);
+      Array.iter
+        (fun len ->
+          let chans = Array.init len (fun j -> (id + j) mod channels) in
+          let into = Array.make len None in
+          Engine.listen_series ~chans ~into;
+          Array.iter
+            (fun f ->
+              let s =
+                match f with
+                | Some (Frame.Plain { src; body; _ }) -> Printf.sprintf "%d:%s" src body
+                | Some _ -> "?"
+                | None -> "-"
+              in
+              heard.(id) <- s :: heard.(id))
+            into)
+        series_lengths
+    end
+  in
+  let r = run_core cfg (Array.init n (fun _ -> body)) in
+  (r, heard)
+
+let series_heard_parity () =
+  let n = 12 and channels = 3 and seed = 5L in
+  let go ~record core = series_workload ~n ~channels ~record ~seed core in
+  let reference cfg nodes = Engine.run_reference cfg ~adversary:Adversary.null nodes in
+  let sparse ?pool ?shard_min cfg nodes =
+    Engine.run ?pool ?shard_min cfg ~adversary:Adversary.null nodes
+  in
+  (* Parked fast path (record off, non-observing adversary) vs reference. *)
+  let ra, ha = go ~record:false reference in
+  let rb, hb = go ~record:false (sparse ?pool:None ?shard_min:None) in
+  check Alcotest.bool "parked: engine observables identical" true (same_result ra rb);
+  check Alcotest.bool "parked: heard frames identical" true (ha = hb);
+  check Alcotest.bool "listeners heard something" true
+    (Array.exists (fun l -> List.exists (fun s -> s <> "-") l) hb);
+  (* Per-round path (record on) must hear exactly the same frames. *)
+  let rc, hc = go ~record:true reference in
+  let rd, hd = go ~record:true (sparse ?pool:None ?shard_min:None) in
+  check Alcotest.bool "recorded: engine observables identical" true (same_result rc rd);
+  check Alcotest.bool "recorded: heard frames identical" true (hc = hd);
+  check Alcotest.bool "recorded path hears what the parked path hears" true (hb = hd);
+  (* Sharded harvest under the parked path, jobs 2 and 4. *)
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let re, he = go ~record:false (sparse ~pool ~shard_min:1) in
+          check Alcotest.bool
+            (Printf.sprintf "parked sharded jobs=%d identical" domains)
+            true
+            (same_result rb re && hb = he)))
+    [ 2; 4 ]
+
+let series_rejects_bad_arguments () =
+  let cfg = Config.make ~n:2 ~channels:2 ~t:0 ~seed:3L () in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Engine.listen_series: chans and into must have equal length")
+    (fun () ->
+      ignore
+        (Engine.run_nodes cfg ~adversary:Adversary.null (fun _ ->
+             Engine.listen_series ~chans:[| 0; 1 |] ~into:(Array.make 1 None))));
+  Alcotest.check_raises "invalid channel"
+    (Invalid_argument "Engine: action on invalid channel 9") (fun () ->
+      ignore
+        (Engine.run_nodes cfg ~adversary:Adversary.null (fun _ ->
+             Engine.listen_series ~chans:[| 0; 9 |] ~into:(Array.make 2 None))))
+
 let channel_usage_totals_match_stats () =
   (* The per-channel counters are a refinement of the global stats: summed
      over channels they must reproduce deliveries and collisions exactly,
@@ -314,6 +423,9 @@ let () =
           Alcotest.test_case "channel usage totals = stats" `Quick
             channel_usage_totals_match_stats;
           Alcotest.test_case "usage absent when off" `Quick untracked_has_no_usage ] );
+      ( "listen-series",
+        [ Alcotest.test_case "heard parity across cores and paths" `Quick series_heard_parity;
+          Alcotest.test_case "argument validation" `Quick series_rejects_bad_arguments ] );
       ( "sharding",
         [ qcheck sharded_equals_serial;
           Alcotest.test_case "large round jobs 1/2/4" `Quick sharded_large_round_parity ] );

@@ -205,6 +205,141 @@ let spec_validation () =
     (Invalid_argument "Mux.make: need 0 <= grace <= epoch_len") (fun () ->
       ignore (Mux.make ~key ~logical:4 ~phys:4 ~budget:1 ~rounds:10 ~epoch_len:4 ~grace:5 ()))
 
+(* ------------------------------------------------------------------ *)
+(* Piggybacked acks.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let pig_spec ?(crypto = Mux.Batched) ?(ack_mode = Mux.Piggybacked) ?(rounds = 40)
+    ?(logical = 24) ?(rate = 1) ?(queue_cap = 64) ?(outsiders = 0) () =
+  Mux.make ~key ~logical ~phys:8 ~budget:2 ~transport:Mux.Acked ~ack_mode ~crypto ~rounds
+    ~rate ~queue_cap ~epoch_len:8 ~grace:3 ~outsiders ~seed:11L ()
+
+(* Jams [budget] fixed channels during the first [real_rounds] engine rounds
+   and then falls silent forever, so early losses are retransmitted out of
+   the queue while the adversary is quiet and the run still drains. *)
+let early_jammer ~real_rounds ~budget =
+  { Radio.Adversary.name = "early-jammer";
+    act =
+      (fun ~round ->
+        if round < real_rounds then
+          List.init budget (fun i -> { Radio.Adversary.chan = i; spoof = None })
+        else []);
+    observe = (fun _ -> ());
+    observes = false }
+
+(* The parity set: every counter both ack modes must agree on for a fully
+   drained run.  Duplicates, retransmissions, and latency are mechanism
+   noise (piggybacking re-sends the final head as an ack carrier) and are
+   deliberately excluded. *)
+let parity_counters (s : Mux.stats) =
+  (s.Mux.offered, s.Mux.delivered, s.Mux.acked, s.Mux.shed, s.Mux.forged_accepts,
+   s.Mux.plaintext_leaks)
+
+let pig_null_drains_and_matches_slotted () =
+  let p = Mux.run (pig_spec ()) ~adversary:null in
+  let s = Mux.run (pig_spec ~ack_mode:Mux.Slotted ()) ~adversary:null in
+  check Alcotest.bool "completed" true p.Mux.engine.Radio.Engine.completed;
+  let ps = p.Mux.stats in
+  check Alcotest.int "offered = rate * logical * rounds" (24 * 40) ps.Mux.offered;
+  check Alcotest.int "fully drained: delivered = offered" ps.Mux.offered ps.Mux.delivered;
+  check Alcotest.int "fully drained: acked = delivered" ps.Mux.delivered ps.Mux.acked;
+  check Alcotest.int "no shedding" 0 ps.Mux.shed;
+  check Alcotest.int "no forged accepts" 0 ps.Mux.forged_accepts;
+  check Alcotest.int "no leaks" 0 ps.Mux.plaintext_leaks;
+  (* The one flush round re-sends each final head as its ack carrier. *)
+  check Alcotest.int "flush-round retransmissions only" 24 ps.Mux.retransmissions;
+  check Alcotest.bool "parity with slotted on the drained counters" true
+    (parity_counters ps = parity_counters s.Mux.stats);
+  (* Fewer real radio rounds for the same emulated service. *)
+  check Alcotest.bool "piggybacking uses fewer real rounds" true
+    (p.Mux.engine.Radio.Engine.rounds_used < s.Mux.engine.Radio.Engine.rounds_used)
+
+let pig_rpe_pinned () =
+  (* The headline reduction at service-bench scale: 1024 logical channels
+     over 16 physical ones go from 2S + 2 = 130 real rounds per emulated
+     round to S + 1 = 65 — an exact 2x. *)
+  let big ack_mode =
+    Mux.make ~key ~logical:1024 ~phys:16 ~budget:2 ~ack_mode ~rounds:1 ()
+  in
+  check Alcotest.int "slotted rpe at 1024/16" 130
+    (Mux.real_rounds_per_emulated (big Mux.Slotted));
+  check Alcotest.int "piggybacked rpe at 1024/16" 65
+    (Mux.real_rounds_per_emulated (big Mux.Piggybacked));
+  check Alcotest.int "slotted rpe at 24/8" 8
+    (Mux.real_rounds_per_emulated (pig_spec ~ack_mode:Mux.Slotted ()));
+  check Alcotest.int "piggybacked rpe at 24/8" 4
+    (Mux.real_rounds_per_emulated (pig_spec ()));
+  (* Duplex pairing also halves the node count. *)
+  check Alcotest.int "slotted nodes" (2 * 1024) (Mux.node_count (big Mux.Slotted));
+  check Alcotest.int "piggybacked nodes" 1024 (Mux.node_count (big Mux.Piggybacked))
+
+let pig_early_jamming_recovers () =
+  let spec = pig_spec ~rounds:60 () in
+  let jam_window = 6 * Mux.real_rounds_per_emulated spec in
+  let p = Mux.run spec ~adversary:(early_jammer ~real_rounds:jam_window ~budget:2) in
+  let ps = p.Mux.stats in
+  check Alcotest.bool "completed" true p.Mux.engine.Radio.Engine.completed;
+  check Alcotest.int "offered in full" (24 * 60) ps.Mux.offered;
+  check Alcotest.bool "jamming forces retransmissions" true
+    (ps.Mux.retransmissions > 24);
+  check Alcotest.int "no shedding into a generous queue" 0 ps.Mux.shed;
+  check Alcotest.int "authentication holds" 0 ps.Mux.forged_accepts;
+  check Alcotest.int "secrecy holds" 0 ps.Mux.plaintext_leaks;
+  (* Rate 1 leaves no spare slots, so messages stalled during the jam
+     window stay queued to the end — but never more than the window holds,
+     and acks trail deliveries by at most the flush round's sends. *)
+  check Alcotest.bool "delivered within backlog bound" true
+    (ps.Mux.delivered >= ps.Mux.offered - (6 * 24));
+  check Alcotest.bool "acked close behind delivered" true
+    (ps.Mux.acked <= ps.Mux.delivered && ps.Mux.delivered - ps.Mux.acked <= 2 * 24)
+
+let pig_crypto_modes_byte_identical () =
+  List.iter
+    (fun mk_adversary ->
+      let a = Mux.run (pig_spec ~crypto:Mux.Batched ()) ~adversary:(mk_adversary ()) in
+      let b = Mux.run (pig_spec ~crypto:Mux.Per_message ()) ~adversary:(mk_adversary ()) in
+      check Alcotest.string "piggybacked render_stats identical across crypto modes"
+        (Mux.render_stats a) (Mux.render_stats b))
+    [ (fun () -> null);
+      (fun () -> early_jammer ~real_rounds:(4 * 4) ~budget:2);
+      (fun () -> jammer 3L 2) ]
+
+let pig_pool_sizes_byte_identical () =
+  let run pool =
+    Mux.run ?pool (pig_spec ~outsiders:2 ()) ~adversary:(jammer 9L 2)
+  in
+  let solo = run None in
+  List.iter
+    (fun domains ->
+      Parallel.Pool.with_pool ~domains (fun pool ->
+          let r = run (Some pool) in
+          check Alcotest.string
+            (Printf.sprintf "piggybacked render_stats identical at %d domains" domains)
+            (Mux.render_stats solo) (Mux.render_stats r)))
+    [ 2; 4 ]
+
+let pig_outsiders_blocked () =
+  let r = Mux.run (pig_spec ~outsiders:3 ()) ~adversary:null in
+  check Alcotest.bool "outsiders overheard traffic" true (r.Mux.stats.Mux.snooped > 0);
+  check Alcotest.int "secrecy: no outsider decryption" 0 r.Mux.stats.Mux.plaintext_leaks;
+  check Alcotest.int "authenticity: no forged accepts" 0 r.Mux.stats.Mux.forged_accepts;
+  (* Outsider forgeries collide with data slots like jamming, so the rate-1
+     pipeline keeps a small backlog; the service must still mostly deliver. *)
+  check Alcotest.bool "service still works" true
+    (r.Mux.stats.Mux.delivered > (r.Mux.stats.Mux.offered * 3) / 4)
+
+let pig_spec_validation () =
+  Alcotest.check_raises "piggybacked needs Acked"
+    (Invalid_argument "Mux.make: Piggybacked acks need the Acked transport") (fun () ->
+      ignore
+        (Mux.make ~key ~logical:4 ~phys:4 ~budget:1
+           ~transport:(Mux.Repeat { reps = 3; group = 2 })
+           ~ack_mode:Mux.Piggybacked ~rounds:10 ()));
+  Alcotest.check_raises "piggybacked needs even logical"
+    (Invalid_argument "Mux.make: Piggybacked acks need an even number of logical channels")
+    (fun () ->
+      ignore (Mux.make ~key ~logical:5 ~phys:4 ~budget:1 ~ack_mode:Mux.Piggybacked ~rounds:10 ()))
+
 let () =
   Alcotest.run "mux"
     [ ( "window",
@@ -225,4 +360,14 @@ let () =
         [ Alcotest.test_case "crypto modes byte-identical" `Quick crypto_modes_byte_identical;
           Alcotest.test_case "pool sizes byte-identical" `Quick pool_sizes_byte_identical ] );
       ( "repeat",
-        [ Alcotest.test_case "full delivery under jamming" `Quick repeat_transport_full_delivery ] ) ]
+        [ Alcotest.test_case "full delivery under jamming" `Quick repeat_transport_full_delivery ] );
+      ( "piggybacked",
+        [ Alcotest.test_case "null drains and matches slotted" `Quick
+            pig_null_drains_and_matches_slotted;
+          Alcotest.test_case "real-rounds reduction pinned" `Quick pig_rpe_pinned;
+          Alcotest.test_case "early jamming recovers" `Quick pig_early_jamming_recovers;
+          Alcotest.test_case "crypto modes byte-identical" `Quick
+            pig_crypto_modes_byte_identical;
+          Alcotest.test_case "pool sizes byte-identical" `Quick pig_pool_sizes_byte_identical;
+          Alcotest.test_case "outsiders blocked" `Quick pig_outsiders_blocked;
+          Alcotest.test_case "spec validation" `Quick pig_spec_validation ] ) ]
